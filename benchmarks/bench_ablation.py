@@ -1,0 +1,86 @@
+"""Ablation benchmarks: component isolation and design-choice studies.
+
+Covers Fig. 10 (BOLA vs BOLA-SSIM vs VOXEL on the 3G corpus), Fig. 18c/d
+(partial-reliability ablation), and the §4.2 selective-retransmission
+residual-loss numbers.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import format_rows
+from repro.experiments import figures
+
+
+def test_fig10_components(benchmark):
+    """Fig. 10: each ABR* ingredient isolated over 3G commute traces."""
+
+    def run():
+        return figures.fig10_components(trace_count=40)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "system": system,
+            "mean_bufratio_pct": data["mean_buf_ratio"] * 100.0,
+            "mean_ssim": data["mean_ssim"],
+        }
+        for system, data in out.items()
+    ]
+    print(format_rows(
+        rows, ["system", "mean_bufratio_pct", "mean_ssim"],
+        "Fig. 10: component isolation (3G corpus, 1-segment buffer)",
+    ))
+    # VOXEL rebuffers drastically less than both BOLA flavours; the
+    # BOLA-SSIM step alone does not reduce rebuffering (the paper even
+    # measures a slight increase).
+    assert out["VOXEL"]["mean_buf_ratio"] < 0.7 * out["BOLA"]["mean_buf_ratio"]
+    assert (
+        out["BOLA-SSIM"]["mean_buf_ratio"]
+        > 0.75 * out["BOLA"]["mean_buf_ratio"]
+    )
+
+
+def test_fig18cd_reliability(benchmark, reduced_reps):
+    """Fig. 18c/d: disabling unreliable streams costs rebuffering."""
+
+    def run():
+        return figures.fig18cd_reliability_ablation(
+            videos=("bbb",), traces=("tmobile", "verizon"),
+            buffers=(1, 3), repetitions=reduced_reps,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        rows, ["trace", "buffer", "system", "buf_ratio_p90", "ssim"],
+        "Fig. 18c/d: partial reliability on/off",
+    ))
+    grouped = {
+        (r["trace"], r["buffer"], r["system"]): r for r in rows
+    }
+    deltas = []
+    for trace in ("tmobile", "verizon"):
+        for buffer in (1, 3):
+            with_pr = grouped[(trace, buffer, "VOXEL")]["buf_ratio_p90"]
+            without = grouped[(trace, buffer, "VOXEL rel")]["buf_ratio_p90"]
+            deltas.append(without - with_pr)
+    # Partial reliability reduces rebuffering on aggregate (the paper
+    # sees the bufRatio double without it).
+    assert float(np.mean(deltas)) >= -0.005
+
+
+def test_selective_retransmission(benchmark):
+    """§4.2: residual loss after selective retransmission stays small."""
+
+    def run():
+        return figures.selective_retransmission_residual(
+            buffers=(2, 3, 7), repetitions=4
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        rows, ["buffer", "residual_loss_pct"],
+        "§4.2: residual loss after selective retransmission "
+        "(paper: 0.9/1.5/1.8 %)",
+    ))
+    for row in rows:
+        assert row["residual_loss_pct"] < 5.0

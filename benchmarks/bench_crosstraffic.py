@@ -1,0 +1,31 @@
+"""Benchmarks for Fig. 12: VOXEL vs BOLA under Harpoon-style cross traffic."""
+
+import numpy as np
+
+from benchmarks.conftest import format_rows
+from repro.experiments import figures
+
+
+def test_fig12_cross_traffic(benchmark):
+    """Fig. 12: 20 Mbps of competing flows on a 20 Mbps link."""
+
+    def run():
+        return figures.fig12_cross_traffic(
+            videos=("bbb",), buffers=(1, 3, 7), repetitions=2
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        rows, ["buffer", "system", "buf_ratio_p90", "bitrate_kbps"],
+        "Fig. 12: cross traffic (20 Mbps average)",
+    ))
+    grouped = {(r["buffer"], r["system"]): r for r in rows}
+    for buffer in (1, 3, 7):
+        voxel = grouped[(buffer, "VOXEL")]
+        bola = grouped[(buffer, "BOLA")]
+        # VOXEL keeps rebuffering at/below BOLA's under contention...
+        assert voxel["buf_ratio_p90"] <= bola["buf_ratio_p90"] + 0.01
+        # ...without collapsing the bitrate.
+        assert voxel["bitrate_kbps"] > 0.5 * bola["bitrate_kbps"]
+    # VOXEL at a 1-segment buffer experiences low rebuffering.
+    assert grouped[(1, "VOXEL")]["buf_ratio_p90"] < 0.1

@@ -1,0 +1,74 @@
+"""Benchmarks for §5.1 — vanilla ABR algorithms over QUIC vs QUIC*.
+
+Covers Fig. 3 (bufRatio), Fig. 4 (bitrates) and Fig. 5 (cross traffic).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import format_rows
+from repro.experiments import figures
+
+
+def _group(rows, keys):
+    out = {}
+    for row in rows:
+        out[tuple(row[k] for k in keys)] = row
+    return out
+
+
+def test_fig3_fig4_vanilla_quicstar(benchmark, reduced_reps):
+    """Fig. 3/4: MPC and BOLA gain rebuffering headroom from QUIC*."""
+
+    def run():
+        return figures.fig3_fig4_vanilla_quicstar(
+            videos=("bbb",),
+            buffers=(5, 7),
+            repetitions=reduced_reps,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        rows,
+        ["abr", "trace", "buffer", "transport", "buf_ratio_p90",
+         "bitrate_kbps"],
+        "Fig. 3/4: vanilla ABRs, QUIC vs QUIC*",
+    ))
+    grouped = _group(rows, ("abr", "trace", "buffer", "transport"))
+    improvements = []
+    for abr in ("mpc", "bola"):
+        for trace in ("tmobile", "verizon"):
+            for buffer in (5, 7):
+                q = grouped[(abr, trace, buffer, "Q")]["buf_ratio_p90"]
+                qstar = grouped[(abr, trace, buffer, "Q*")]["buf_ratio_p90"]
+                improvements.append(q - qstar)
+    # QUIC* lowers rebuffering for vanilla ABRs on aggregate (Fig. 3),
+    # though not necessarily in every single cell (the paper notes BOLA
+    # regressions in some settings).
+    assert float(np.mean(improvements)) >= -0.005
+
+
+def test_fig5_cross_traffic(benchmark):
+    """Fig. 5: vanilla ABRs with QUIC* under 20 Mbps cross traffic."""
+
+    def run():
+        return figures.fig5_cross_traffic_vanilla(
+            videos=("bbb",),
+            buffers=(5, 7),
+            repetitions=2,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        rows,
+        ["abr", "buffer", "transport", "buf_ratio_p90", "bitrate_kbps"],
+        "Fig. 5: cross traffic (20 Mbps)",
+    ))
+    assert all(row["bitrate_kbps"] > 0 for row in rows)
+    grouped = _group(rows, ("abr", "buffer", "transport"))
+    deltas = [
+        grouped[(abr, buf, "Q")]["buf_ratio_p90"]
+        - grouped[(abr, buf, "Q*")]["buf_ratio_p90"]
+        for abr in ("bola", "mpc")
+        for buf in (5, 7)
+    ]
+    assert float(np.mean(deltas)) >= -0.01

@@ -1,0 +1,192 @@
+"""Benchmarks regenerating the §3 insight figures and the video tables.
+
+Covers: Tab. 1, Tab. 2, Tab. 3, Fig. 1a-d, Fig. 2a-d, Fig. 15, Fig. 19.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import format_rows
+from repro.experiments import figures
+
+
+def test_tables(benchmark):
+    """Tab. 1 + Tab. 2 + Tab. 3: video and ladder characterization."""
+
+    def run():
+        return (
+            figures.table1_videos(),
+            figures.table2_ladder(),
+            figures.table3_youtube(),
+        )
+
+    table1, table2, table3 = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(table1, ["video", "genre", "std_mbps"], "Tab. 1"))
+    print(format_rows(
+        table2, ["quality", "resolution", "avg_bitrate_mbps", "total_size_mb"],
+        "Tab. 2",
+    ))
+    print(format_rows(table3, ["video", "genre", "std_mbps"], "Tab. 3"))
+    assert len(table1) == 4 and len(table2) == 13 and len(table3) == 10
+
+
+def test_fig1_drop_tolerance(benchmark):
+    """Fig. 1a-c: tolerable frame-drop CDFs at Q12/0.99, Q9/0.99, Q9/0.95."""
+
+    def run():
+        return figures.fig1_drop_tolerance(segment_stride=3)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for case, per_video in out.items():
+        for video, cdf in per_video.items():
+            rows.append(
+                {
+                    "case": case,
+                    "video": video,
+                    "median_drop_pct": float(np.median(cdf["x"])),
+                    "p90_drop_pct": float(np.percentile(cdf["x"], 90)),
+                }
+            )
+    print(format_rows(
+        rows, ["case", "video", "median_drop_pct", "p90_drop_pct"],
+        "Fig. 1a-c: frame-drop tolerance",
+    ))
+    # Headline: at Q12/0.99 the canonical videos tolerate >=10% median.
+    for video in ("bbb", "ed", "sintel", "tos"):
+        med = float(np.median(out["Q12/0.99"][video]["x"]))
+        assert med >= 8.0, f"{video} Q12 tolerance collapsed: {med}"
+    # Tolerance shrinks at Q9/0.99 and recovers at Q9/0.95.
+    for video in ("bbb", "tos"):
+        q12 = float(np.median(out["Q12/0.99"][video]["x"]))
+        q9_99 = float(np.median(out["Q9/0.99"][video]["x"]))
+        q9_95 = float(np.median(out["Q9/0.95"][video]["x"]))
+        assert q9_99 < q12
+        assert q9_95 > q9_99
+
+
+def test_fig1d_low_quality_ssim(benchmark):
+    """Fig. 1d: most Q9/Q6 segments score below 0.99."""
+
+    def run():
+        return figures.fig1d_low_quality_ssim()
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, cdf in out.items():
+        below = float(np.mean(cdf["x"] < 0.99))
+        rows.append({"series": label, "frac_below_0.99": below,
+                     "median_ssim": float(np.median(cdf["x"]))})
+    print(format_rows(
+        rows, ["series", "frac_below_0.99", "median_ssim"],
+        "Fig. 1d: low-quality SSIM",
+    ))
+    assert float(np.mean(out["bbb/Q9"]["x"] < 0.99)) > 0.5
+    assert float(np.median(out["bbb/Q6"]["x"])) < float(
+        np.median(out["bbb/Q9"]["x"])
+    )
+
+
+def test_fig2a_positions(benchmark):
+    """Fig. 2a: droppable frames are distributed across the segment."""
+
+    def run():
+        return figures.fig2a_droppable_positions(segment_stride=5)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    for video, fractions in out.items():
+        # The I-frame is never droppable; the rest of the segment has
+        # droppable frames spread around, not only at the tail.
+        assert fractions[0] == 0.0
+        first_half = fractions[1:48].mean()
+        second_half = fractions[48:].mean()
+        print(
+            f"Fig. 2a {video}: droppable fraction first half "
+            f"{first_half:.2f}, second half {second_half:.2f}"
+        )
+        assert first_half > 0.05
+
+
+def test_fig2b_orderings(benchmark):
+    """Fig. 2b: QoE ranking beats naive tail-only drops."""
+
+    def run():
+        return figures.fig2b_ordering_comparison(segment_stride=3)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    for video, data in out.items():
+        ranked = float(np.median(data["ranked"]["x"]))
+        tail = float(np.median(data["tail"]["x"]))
+        print(
+            f"Fig. 2b {video}: median tolerance ranked {ranked:.1f}% vs "
+            f"tail {tail:.1f}%; referenced-drop fraction ranked "
+            f"{data['ranked_referenced_fraction']:.2f} vs tail "
+            f"{data['tail_referenced_fraction']:.2f}"
+        )
+        assert ranked >= tail
+        assert (
+            data["tail_referenced_fraction"]
+            >= data["ranked_referenced_fraction"]
+        )
+
+
+def test_fig2cd_virtual_levels(benchmark):
+    """Fig. 2c/d: virtual levels sit between the real ladder rungs."""
+
+    def run():
+        return figures.fig2cd_virtual_levels()
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    for video, series in out.items():
+        q12 = float(np.median(series["Q12"]["x"]))
+        q11 = float(np.median(series["Q11"]["x"]))
+        v99 = float(np.median(series["Q12/0.99"]["x"]))
+        v95 = float(np.median(series["Q12/0.95"]["x"]))
+        print(
+            f"Fig. 2c/d {video}: median Mbps Q12 {q12:.1f} > Q12/0.99 "
+            f"{v99:.1f} > Q12/0.95 {v95:.1f} (Q11 {q11:.1f})"
+        )
+        assert v99 < q12
+        assert v95 <= v99
+
+
+def test_fig15_vbr(benchmark):
+    """Fig. 15: capped-VBR segment-size variation per level."""
+
+    def run():
+        return figures.fig15_vbr_variation()
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    for video, series in out.items():
+        q12 = series["Q12"]
+        print(
+            f"Fig. 15 {video}: Q12 mean {q12.mean():.1f} Mbps, "
+            f"min {q12.min():.1f}, max {q12.max():.1f}"
+        )
+        assert q12.max() <= 2.2 * 10.0
+        assert q12.max() / max(q12.min(), 0.1) > 1.5  # real variation
+
+
+def test_fig19_youtube(benchmark):
+    """Fig. 19: the insights generalize; P9/P10 are the outliers."""
+
+    def run():
+        return figures.fig19_youtube_tolerance(segment_stride=3)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    q12 = out["Q12/0.99"]
+    rows = [
+        {"video": video, "median_drop_pct": float(np.median(cdf["x"]))}
+        for video, cdf in q12.items()
+    ]
+    print(format_rows(rows, ["video", "median_drop_pct"],
+                      "Fig. 19 (Q12/0.99)"))
+    p9 = float(np.median(q12["p9"]["x"]))
+    p10 = float(np.median(q12["p10"]["x"]))
+    others = [
+        float(np.median(q12[v]["x"])) for v in ("p1", "p5", "p6", "p7")
+    ]
+    assert p9 > max(others)  # the static unboxing video tolerates most
+    assert p10 < min(others) + 8  # the dance video tolerates least-ish
+    # At Q9/0.95 P9 tolerates massive drops.
+    p9_q9 = float(np.median(out["Q9/0.95"]["p9"]["x"]))
+    assert p9_q9 > 50.0

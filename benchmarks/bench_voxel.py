@@ -1,0 +1,212 @@
+"""Benchmarks for §5.2 — the full VOXEL system vs BOLA and BETA.
+
+Covers Fig. 6 (bufRatio across traces/buffers), Fig. 7a-c (QoE-metric
+agnosticism), Fig. 7d (data skipped), Fig. 8 (bitrates), Fig. 9 (SSIM
+CDFs), Fig. 17 (untuned VOXEL) and Fig. 18a/b (FCC).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import format_rows
+from repro.experiments import figures
+
+
+def _group(rows, keys):
+    return {tuple(r[k] for k in keys): r for r in rows}
+
+
+def test_fig6_bufratio(benchmark, reduced_reps):
+    """Fig. 6: VOXEL (ABR*+QUIC*) vs BOLA and BETA, four traces."""
+
+    def run():
+        return figures.fig6_bufratio(
+            videos=("bbb", "tos"),
+            traces=("att", "3g", "verizon", "tmobile"),
+            buffers=(1, 7),
+            repetitions=reduced_reps,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        rows,
+        ["video", "trace", "buffer", "system", "buf_ratio_p90", "ssim"],
+        "Fig. 6: 90th-pct bufRatio",
+    ))
+    grouped = _group(rows, ("video", "trace", "buffer", "system"))
+    # VOXEL never rebuffers more than BOLA, per cell, beyond noise; and
+    # aggregate rebuffering drops substantially.
+    bola_total, voxel_total = 0.0, 0.0
+    for video in ("bbb", "tos"):
+        for trace in ("att", "3g", "verizon", "tmobile"):
+            for buffer in (1, 7):
+                bola = grouped[(video, trace, buffer, "BOLA")]
+                voxel = grouped[(video, trace, buffer, "VOXEL")]
+                bola_total += bola["buf_ratio_p90"]
+                voxel_total += voxel["buf_ratio_p90"]
+    assert voxel_total <= bola_total * 0.75 + 1e-6
+
+
+def test_fig7_metric_agnostic(benchmark, reduced_reps):
+    """Fig. 7a-c: VOXEL wins regardless of the QoE metric optimized."""
+
+    def run():
+        return figures.fig7_metric_agnostic(
+            buffers=(1, 3), repetitions=reduced_reps
+        )
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        out["rows"], ["system", "buffer", "buf_ratio_p90", "ssim"],
+        "Fig. 7a: metric-agnostic bufRatio",
+    ))
+    grouped = _group(out["rows"], ("system", "buffer"))
+    for metric in ("SSIM", "VMAF", "PSNR"):
+        for buffer in (1, 3):
+            voxel = grouped[(f"VOXEL/{metric}", buffer)]["buf_ratio_p90"]
+            bola = grouped[("BOLA", buffer)]["buf_ratio_p90"]
+            assert voxel <= bola + 0.01
+    assert {"BOLA/ssim", "VOXEL/ssim", "BOLA/vmaf", "VOXEL/vmaf"} <= set(
+        out["cdfs"]
+    )
+
+
+def test_fig7d_data_skipped(benchmark):
+    """Fig. 7d: data skipped shrinks as the buffer grows."""
+
+    def run():
+        return figures.fig7d_data_skipped(
+            videos=("bbb", "tos"), buffers=(1, 3, 7), repetitions=2
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        rows, ["video", "buffer", "data_skipped_pct"],
+        "Fig. 7d: % data skipped",
+    ))
+    grouped = _group(rows, ("video", "buffer"))
+    for video in ("bbb", "tos"):
+        small = grouped[(video, 1)]["data_skipped_pct"]
+        large = grouped[(video, 7)]["data_skipped_pct"]
+        assert large <= small + 0.5
+        assert small < 40.0  # skipping is targeted, not wholesale
+
+
+def test_fig8_bitrates(benchmark, reduced_reps):
+    """Fig. 8: VOXEL sustains bitrates on par with BOLA."""
+
+    def run():
+        return figures.fig8_bitrates(
+            videos=("bbb", "tos"), buffers=(1, 7), repetitions=reduced_reps
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        rows,
+        ["video", "trace", "buffer", "system", "bitrate_kbps",
+         "buf_ratio_p90"],
+        "Fig. 8: average bitrates",
+    ))
+    grouped = _group(rows, ("video", "trace", "buffer", "system"))
+    ratios = []
+    for video in ("bbb", "tos"):
+        for trace in ("tmobile", "verizon"):
+            for buffer in (1, 7):
+                voxel = grouped[(video, trace, buffer, "VOXEL")]
+                bola = grouped[(video, trace, buffer, "BOLA")]
+                ratios.append(
+                    voxel["bitrate_kbps"] / max(bola["bitrate_kbps"], 1.0)
+                )
+    # On aggregate VOXEL's delivered bitrate is at least ~75 % of BOLA's
+    # (it trades some bytes for zero rebuffering at tiny buffers).
+    assert float(np.mean(ratios)) > 0.7
+
+
+def test_fig9_ssim_cdfs(benchmark, reduced_reps):
+    """Fig. 9: per-segment SSIM distributions of the three systems."""
+
+    def run():
+        return figures.fig9_ssim_cdfs(
+            combos=(("tos", "att", 2), ("bbb", "tmobile", 1)),
+            repetitions=reduced_reps,
+        )
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for combo, series in out.items():
+        for system, cdf in series.items():
+            rows.append(
+                {
+                    "combo": combo,
+                    "system": system,
+                    "median_ssim": float(np.median(cdf["x"])),
+                    "p10_ssim": float(np.percentile(cdf["x"], 10)),
+                }
+            )
+    print(format_rows(
+        rows, ["combo", "system", "median_ssim", "p10_ssim"],
+        "Fig. 9: SSIM CDFs",
+    ))
+    # On the benign AT&T trace nobody rebuffers and VOXEL's SSIM keeps up
+    # with BOLA within a small margin (Fig. 9a it even wins).
+    att = out["tos-att"]
+    assert float(np.median(att["VOXEL"]["x"])) >= float(
+        np.median(att["BOLA"]["x"])
+    ) - 0.03
+
+
+def test_fig17_untuned_voxel(benchmark, reduced_reps):
+    """Fig. 17c/d vs Fig. 6d: the bandwidth-safety tuning knob."""
+
+    def run():
+        tuned = figures.fig6_bufratio(
+            videos=("bbb",), traces=("tmobile",), buffers=(1, 7),
+            repetitions=reduced_reps, tuned_voxel=True,
+        )
+        untuned = figures.fig6_bufratio(
+            videos=("bbb",), traces=("tmobile",), buffers=(1, 7),
+            repetitions=reduced_reps, tuned_voxel=False,
+        )
+        return tuned, untuned
+
+    tuned, untuned = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = _group(tuned, ("buffer", "system"))
+    u = _group(untuned, ("buffer", "system"))
+    rows = []
+    for buffer in (1, 7):
+        rows.append({
+            "buffer": buffer,
+            "tuned_p90": t[(buffer, "VOXEL")]["buf_ratio_p90"],
+            "untuned_p90": u[(buffer, "VOXEL")]["buf_ratio_p90"],
+            "tuned_ssim": t[(buffer, "VOXEL")]["ssim"],
+            "untuned_ssim": u[(buffer, "VOXEL")]["ssim"],
+        })
+    print(format_rows(
+        rows, ["buffer", "tuned_p90", "untuned_p90", "tuned_ssim",
+               "untuned_ssim"],
+        "Fig. 17: tuned (0.9) vs untuned (1.0) bandwidth safety",
+    ))
+    # The tuned factor never increases rebuffering on T-Mobile.
+    for row in rows:
+        assert row["tuned_p90"] <= row["untuned_p90"] + 0.01
+
+
+def test_fig18ab_fcc(benchmark, reduced_reps):
+    """Fig. 18a/b: the FCC fixed-line trace."""
+
+    def run():
+        return figures.fig6_bufratio(
+            videos=("bbb",), traces=("fcc",), buffers=(1, 3),
+            repetitions=reduced_reps,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        rows, ["buffer", "system", "buf_ratio_p90", "bitrate_kbps"],
+        "Fig. 18a/b: FCC",
+    ))
+    grouped = _group(rows, ("buffer", "system"))
+    for buffer in (1, 3):
+        assert (
+            grouped[(buffer, "VOXEL")]["buf_ratio_p90"]
+            <= grouped[(buffer, "BOLA")]["buf_ratio_p90"] + 0.01
+        )

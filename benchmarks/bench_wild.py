@@ -1,0 +1,40 @@
+"""Benchmarks for Fig. 11d and Fig. 13: in-the-wild(-like) trials."""
+
+import numpy as np
+
+from benchmarks.conftest import format_rows
+from repro.experiments import figures
+
+
+def test_fig11d_fig13_wild(benchmark, reduced_reps):
+    """Fig. 11d/13: WiFi-path trials with small and large buffers."""
+
+    def run():
+        return figures.fig11d_fig13_wild(
+            videos=("bbb", "tos"), buffers=(1, 7),
+            repetitions=reduced_reps,
+        )
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_rows(
+        out["rows"],
+        ["video", "buffer", "system", "buf_ratio_p90", "ssim"],
+        "Fig. 11d: in-the-wild bufRatio",
+    ))
+    grouped = {
+        (r["video"], r["buffer"], r["system"]): r for r in out["rows"]
+    }
+    for video in ("bbb", "tos"):
+        # Small buffers: VOXEL at or below BOLA's rebuffering.
+        assert (
+            grouped[(video, 1, "VOXEL")]["buf_ratio_p90"]
+            <= grouped[(video, 1, "BOLA")]["buf_ratio_p90"] + 0.01
+        )
+        # Large buffers: both effectively rebuffer-free.
+        assert grouped[(video, 7, "VOXEL")]["buf_ratio_p90"] < 0.05
+        assert grouped[(video, 7, "BOLA")]["buf_ratio_p90"] < 0.05
+    # Fig. 13: SSIM comparable at the 1-segment buffer.
+    for video in ("bbb", "tos"):
+        voxel = float(np.median(out["cdfs"][f"{video}/VOXEL"]["x"]))
+        bola = float(np.median(out["cdfs"][f"{video}/BOLA"]["x"]))
+        assert voxel >= bola - 0.05

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Low-latency live broadcast: latency vs. robustness.
+
+The paper motivates VOXEL with live streaming: every second of playback
+buffer is a second of latency behind the live edge, so live players run
+with tiny buffers — exactly where full-segment reliable delivery breaks
+down.  This example broadcasts Big Buck Bunny "live" over a challenging
+T-Mobile-like LTE path with a 1-second encoder delay and compares the
+end-to-end latency and stall behaviour of BOLA and VOXEL at 1- and
+2-segment client buffers.
+"""
+
+import numpy as np
+
+from repro import prepare_video
+from repro.abr import make_abr
+from repro.network import get_trace
+from repro.player import stream_live
+
+
+def main() -> None:
+    prepared = prepare_video("bbb")
+    trace = get_trace("tmobile")
+
+    print("Live broadcast over T-Mobile-like LTE, 1 s encoder delay\n")
+    print(
+        f"{'system':>8s} {'buffer':>7s} {'mean lat s':>11s} "
+        f"{'p95 lat s':>10s} {'bufRatio%':>10s} {'SSIM':>6s}"
+    )
+    for buffer_segments in (1, 2):
+        for label, abr_name, pr, kwargs in (
+            ("BOLA", "bola", False, {}),
+            ("VOXEL", "abr_star", True, {"bandwidth_safety": 0.9}),
+        ):
+            latencies, stalls, ssims = [], [], []
+            for i in range(6):
+                abr = make_abr(abr_name, prepared=prepared, **kwargs)
+                live = stream_live(
+                    prepared, abr, trace.shifted(i * 53.0),
+                    buffer_segments=buffer_segments,
+                    encoder_delay=1.0,
+                    partially_reliable=pr,
+                )
+                latencies.append(live.mean_latency)
+                stalls.append(live.session.buf_ratio)
+                ssims.append(live.session.mean_ssim)
+            print(
+                f"{label:>8s} {buffer_segments:6d}s "
+                f"{np.mean(latencies):11.2f} "
+                f"{np.percentile(latencies, 95):10.2f} "
+                f"{np.mean(stalls) * 100:10.2f} {np.mean(ssims):6.3f}"
+            )
+
+    print(
+        "\nEvery stall pushes the player further behind the live edge; "
+        "VOXEL's partial segments keep latency flat where full-segment "
+        "delivery falls behind."
+    )
+
+
+if __name__ == "__main__":
+    main()

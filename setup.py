@@ -1,0 +1,5 @@
+"""Setup shim: keeps `pip install -e .` working on offline environments
+without the `wheel` package (falls back to legacy setuptools develop)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""ABR algorithms: Tput, BOLA, RobustMPC, BETA, BOLA-SSIM and ABR*."""
+
+from repro.abr.abr_star import AbrStar, BolaSsim, qoe_utility
+from repro.abr.base import (
+    ABRAlgorithm,
+    ControlAction,
+    ControlVerb,
+    Decision,
+    DecisionContext,
+    DownloadProgress,
+    clamp_quality,
+    safe_throughput,
+)
+from repro.abr.beta import BetaABR, BetaLevel
+from repro.abr.bola import Bola, Candidate
+from repro.abr.mpc import RobustMPC
+from repro.abr.panda import PandaABR
+from repro.abr.throughput import ThroughputABR
+
+ABR_NAMES = (
+    "tput", "panda", "bola", "mpc", "beta", "bola_ssim", "abr_star"
+)
+
+
+def make_abr(name: str, prepared=None, **kwargs) -> ABRAlgorithm:
+    """Construct an ABR algorithm by name.
+
+    ``beta`` needs the :class:`~repro.prep.prepare.PreparedVideo` (it
+    precomputes its b-dropped segment variants from the video files).
+    """
+    key = name.lower()
+    if key == "tput":
+        return ThroughputABR(**kwargs)
+    if key == "panda":
+        return PandaABR(**kwargs)
+    if key == "bola":
+        return Bola(**kwargs)
+    if key == "mpc":
+        return RobustMPC(**kwargs)
+    if key == "beta":
+        if prepared is None:
+            raise ValueError("BETA requires the prepared video")
+        return BetaABR(prepared, **kwargs)
+    if key in ("bola_ssim", "bola-ssim"):
+        return BolaSsim(**kwargs)
+    if key in ("abr_star", "abr-star", "voxel"):
+        return AbrStar(**kwargs)
+    raise KeyError(f"unknown ABR {name!r}; known: {', '.join(ABR_NAMES)}")
+
+
+__all__ = [
+    "ABRAlgorithm",
+    "ControlAction",
+    "ControlVerb",
+    "Decision",
+    "DecisionContext",
+    "DownloadProgress",
+    "clamp_quality",
+    "safe_throughput",
+    "AbrStar",
+    "BolaSsim",
+    "qoe_utility",
+    "BetaABR",
+    "BetaLevel",
+    "Bola",
+    "Candidate",
+    "PandaABR",
+    "RobustMPC",
+    "ThroughputABR",
+    "ABR_NAMES",
+    "make_abr",
+]

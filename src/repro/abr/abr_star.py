@@ -1,0 +1,269 @@
+"""BOLA-SSIM and ABR* — VOXEL's QoE-optimizing ABR algorithms (§4.3).
+
+Both are built on BOLA by replacing the candidate space and the utility:
+
+**BOLA-SSIM** changes the utility function to the QoE metric and adds
+partial-segment downloads: every manifest quality point (virtual quality
+level) of every ladder level becomes a candidate, scored by BOLA with a
+QoE-based utility.  Abandonment still discards and restarts, like BOLA.
+
+**ABR\\*** extends BOLA-SSIM with VOXEL's smart segment abandonment: when
+a download falls behind, it *truncates* the request and keeps the partial
+segment (the reliable part — I-frame and headers — has already arrived,
+so the partial segment decodes), moving on to the next segment instead of
+re-spending the bandwidth.  It also applies a *bandwidth-safety factor*
+to the throughput estimate; §5.2 tunes this single parameter from 1.0
+(aggressive, Fig. 17) to slightly below 1.0 for highly varying traces
+(Fig. 6d).
+
+The utility of a candidate is its normalized QoE score, shifted so the
+cheapest full-segment option sits at zero — BOLA then maximizes the
+time-averaged QoE directly.  Because scores saturate toward 1.0, the
+utility has strongly diminishing returns in bytes, which is what lets
+BOLA trade a sliver of SSIM for much less rebuffering.  The metric is
+pluggable (SSIM, VMAF, PSNR): scores are converted through the metric and
+normalized, making the algorithm QoE-metric agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.abr.base import (
+    ControlAction,
+    DecisionContext,
+    DownloadProgress,
+)
+from repro.abr.bola import Bola, Candidate
+from repro.qoe.metrics import SSIM, QoEMetric
+
+def qoe_utility(score: float, metric: QoEMetric = SSIM) -> float:
+    """Utility of a QoE score under the given metric.
+
+    The utility is the normalized metric value itself: BOLA then
+    maximizes the time-averaged QoE score directly, which is exactly the
+    "optimize for QoE" reframing of §4.3.  (A log-scaled variant was
+    tried and rejected: ``-ln(1-s)`` explodes as scores approach 1.0, so
+    the top two ladder rungs dwarf the rest of the utility range and
+    starve every mid-ladder candidate.)
+    """
+    return metric.normalize(metric.from_ssim(score))
+
+
+class BolaSsim(Bola):
+    """BOLA with a QoE-metric utility and partial-download candidates."""
+
+    name = "bola_ssim"
+
+    def __init__(
+        self,
+        metric: QoEMetric = SSIM,
+        min_virtual_target_s: float = 12.0,
+        enable_abandonment: bool = True,
+        feasibility_factor: Optional[float] = 1.1,
+    ):
+        # BOLA-SSIM is deliberately more aggressive than BOLA ("obtains
+        # its SSIM advantage by using available bandwidth more
+        # aggressively, and with more download options, than BOLA" — §5.2
+        # / Fig. 10), hence the >1 feasibility factor.
+        super().__init__(
+            min_virtual_target_s=min_virtual_target_s,
+            enable_abandonment=enable_abandonment,
+            feasibility_factor=feasibility_factor,
+        )
+        self.metric = metric
+
+    def candidates(self, ctx: DecisionContext) -> List[Candidate]:
+        options: List[Candidate] = []
+        for quality in range(ctx.num_levels):
+            entry = ctx.entry(quality)
+            points = entry.quality_points or ()
+            if not ctx.voxel_capable or not points:
+                options.append(
+                    Candidate(
+                        quality=quality,
+                        size_bytes=entry.total_bytes,
+                        utility=qoe_utility(entry.pristine_score, self.metric),
+                        expected_score=entry.pristine_score,
+                    )
+                )
+                continue
+            for point in points:
+                target = None if point.bytes >= entry.total_bytes else point.bytes
+                options.append(
+                    Candidate(
+                        quality=quality,
+                        size_bytes=point.bytes,
+                        utility=qoe_utility(point.score, self.metric),
+                        expected_score=point.score,
+                        target_bytes=target,
+                    )
+                )
+        # Shift utilities so the cheapest *full-segment* option sits at
+        # zero (BOLA requires non-negative utilities with the worst
+        # useful option at 0).  Anchoring at the worst overall candidate
+        # would let deeply-dropped low-level virtual points — useful only
+        # as emergency fallbacks — flatten the whole utility scale.
+        full_utilities = [
+            o.utility for o in options if o.target_bytes is None
+        ]
+        min_utility = min(full_utilities) if full_utilities else min(
+            o.utility for o in options
+        )
+        # Candidates scoring below the cheapest full segment are dropped:
+        # a heavily-truncated low-level variant is never a better *plan*
+        # than the full lowest level (mid-download truncation still
+        # realizes such outcomes when the network collapses).
+        shifted = [
+            Candidate(
+                quality=o.quality,
+                size_bytes=o.size_bytes,
+                utility=o.utility - min_utility,
+                expected_score=o.expected_score,
+                target_bytes=o.target_bytes,
+            )
+            for o in options
+            if o.utility >= min_utility or o.target_bytes is None
+        ]
+        # Prune dominated candidates: anything bigger but no better than
+        # another candidate wastes bandwidth.
+        shifted.sort(key=lambda o: (o.size_bytes, -o.utility))
+        pruned: List[Candidate] = []
+        best_utility = -1.0
+        for option in shifted:
+            if option.utility > best_utility + 1e-12:
+                pruned.append(option)
+                best_utility = option.utility
+        return pruned
+
+
+class AbrStar(BolaSsim):
+    """ABR*: BOLA-SSIM + keep-partial abandonment + bandwidth safety."""
+
+    name = "abr_star"
+
+    def __init__(
+        self,
+        metric: QoEMetric = SSIM,
+        bandwidth_safety: float = 1.0,
+        min_virtual_target_s: float = 12.0,
+    ):
+        super().__init__(
+            metric=metric,
+            min_virtual_target_s=min_virtual_target_s,
+            enable_abandonment=True,
+            feasibility_factor=bandwidth_safety,
+        )
+        if not 0.3 <= bandwidth_safety <= 1.5:
+            raise ValueError(
+                f"bandwidth safety factor {bandwidth_safety} out of range"
+            )
+        self.bandwidth_safety = bandwidth_safety
+
+    def choose(self, ctx: DecisionContext):
+        # Apply the safety factor by discounting the throughput the
+        # decision sees; BOLA itself is buffer-driven, so the factor
+        # mostly shapes the mid-download truncation behaviour below.
+        decision = super().choose(ctx)
+        decision.unreliable = True
+        return decision
+
+    def control(self, progress: DownloadProgress) -> ControlAction:
+        """Smart segment abandonment: truncate, keep, move on (§4.3).
+
+        If the remaining bytes cannot arrive before the playback deadline
+        at the safety-discounted throughput, cap the request at what
+        *can* arrive.  The reliable part is already in, so the partial
+        segment stays decodable; unlike BOLA/BETA no data is discarded
+        and no re-download happens.
+        """
+        if progress.throughput_bps <= 0 or progress.elapsed < 0.5:
+            return ControlAction.cont()
+        safe_bps = progress.throughput_bps * self.bandwidth_safety
+        remaining_bits = (progress.bytes_total - progress.bytes_sent) * 8
+        if remaining_bits <= 0:
+            return ControlAction.cont()
+        remaining_time = remaining_bits / safe_bps
+        # Deadline: the buffer must not run dry.  A small slack absorbs
+        # estimation noise so a healthy download is never cut.
+        deadline = progress.buffer_level_s - 0.25
+        if remaining_time <= deadline:
+            return ControlAction.cont()
+        # Keep what still fits before the deadline.
+        affordable_bits = max(deadline, 0.0) * safe_bps
+        new_limit = progress.bytes_sent + int(affordable_bits / 8)
+
+        # §4.1's lower-bound rule, applied online: if the projected
+        # partial would score *below* what a restart at a lower level
+        # could still deliver in time, re-fetching wins — a partial
+        # high-bitrate segment is only kept when it beats the complete
+        # low-bitrate alternative.  Restarting is only considered early
+        # in the download (the sunk bytes would be discarded).
+        ctx = self._last_ctx
+        projected = self._projected_score(ctx, progress.quality, new_limit)
+        early = progress.bytes_sent < 0.7 * progress.bytes_total
+        if ctx is not None and progress.quality > 0 and (
+            self._abandoned_segment != progress.segment_index
+        ):
+            budget_bits = max(deadline, 0.0) * safe_bps * 0.8
+            for quality in range(progress.quality - 1, -1, -1):
+                entry = ctx.entry(quality)
+                if entry.total_bytes * 8 <= budget_bits:
+                    better = entry.pristine_score > projected + 0.01
+                    # Late restarts (sunk bytes discarded) only when the
+                    # projected partial is catastrophically worse.
+                    rescue = entry.pristine_score > projected + 0.15
+                    if (early and better) or rescue:
+                        self._abandoned_segment = progress.segment_index
+                        return ControlAction.restart(quality)
+                    break
+
+        # Truncation floor: cutting below a watchable score produces a
+        # slideshow worth less than the brief stall it avoids — keep
+        # downloading toward the floor score, but never buy quality with
+        # more than a bounded amount of stall (rebuffering is still the
+        # primary enemy, §4.2).
+        max_floor_stall_s = 0.5
+        if ctx is not None:
+            entry_now = ctx.entry(progress.quality)
+            points = entry_now.quality_points
+            if points:
+                pristine = points[0].score
+                floor_score = min(0.62, pristine - 0.05)
+                deepest = points[-1]
+                target_bytes = entry_now.bytes_for_score(floor_score)
+                if target_bytes is None:
+                    # Below every advertised point: invert the linear
+                    # extrapolation used by _projected_score.
+                    target_bytes = int(
+                        floor_score / max(deepest.score, 1e-6)
+                        * deepest.bytes
+                    )
+                stall_cap_bytes = new_limit + int(
+                    max_floor_stall_s * safe_bps / 8
+                )
+                floor_bytes = min(
+                    target_bytes, stall_cap_bytes, progress.bytes_total
+                )
+                new_limit = max(new_limit, floor_bytes)
+        if new_limit >= progress.bytes_total:
+            return ControlAction.cont()
+        return ControlAction.truncate(at_bytes=new_limit)
+
+    @staticmethod
+    def _projected_score(ctx, quality: int, byte_budget: int) -> float:
+        """Expected score of a partial download of ``byte_budget`` bytes.
+
+        Below the manifest's deepest virtual level the score is
+        extrapolated linearly in delivered bytes (the manifest is silent
+        below the §4.1 lower bound by construction).
+        """
+        if ctx is None:
+            return 0.0
+        entry = ctx.entry(quality)
+        projected = entry.score_for_bytes(byte_budget)
+        points = entry.quality_points
+        if points and byte_budget < points[-1].bytes:
+            projected *= byte_budget / max(points[-1].bytes, 1)
+        return projected

@@ -1,0 +1,91 @@
+"""PANDA — Probe AND Adapt (Li et al., JSAC 2014).
+
+The canonical *throughput-based* ABR algorithm the paper's background
+section cites (§2).  Included as an additional baseline beyond the
+paper's evaluation set: it probes for bandwidth by additively increasing
+its bandwidth-share estimate and multiplicatively backing off when the
+measured throughput falls short — TCP-style dynamics at the request
+level, which avoids the downward spiral of naive rate estimation when
+many players share a bottleneck.
+
+Simplified faithful core (per the paper's four steps):
+
+1. estimate: ``x_hat += kappa * dt * (w - max(0, x_hat - x_tilde))``
+2. smooth:   EWMA of ``x_hat``
+3. quantize: pick the highest bitrate below ``safety * y_hat`` with a
+   hysteresis margin for up-switches
+4. schedule: (the inter-request time is handled by the player's buffer
+   gating in this reproduction)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.abr.base import ABRAlgorithm, Decision, DecisionContext
+
+
+class PandaABR(ABRAlgorithm):
+    """Probe-and-adapt rate estimation with hysteresis quantization."""
+
+    name = "panda"
+
+    def __init__(
+        self,
+        kappa: float = 0.28e6,  # additive probe rate (bps per second)
+        omega: float = 0.3e6,  # probing additive term (bps)
+        alpha_smooth: float = 0.2,  # EWMA weight for the smoother
+        safety: float = 0.85,
+        up_hysteresis: float = 1.15,
+    ):
+        self.kappa = kappa
+        self.omega = omega
+        self.alpha_smooth = alpha_smooth
+        self.safety = safety
+        self.up_hysteresis = up_hysteresis
+        self._x_hat: Optional[float] = None  # bandwidth-share estimate
+        self._y_hat: Optional[float] = None  # smoothed estimate
+        self._last_time: float = 0.0
+
+    def choose(self, ctx: DecisionContext) -> Decision:
+        measured = ctx.throughput_bps
+        if measured <= 0:
+            return Decision(
+                quality=0,
+                expected_score=ctx.entry(0).pristine_score,
+                unreliable=False,
+            )
+
+        if self._x_hat is None:
+            self._x_hat = measured
+            self._y_hat = measured
+        else:
+            dt = ctx.segment_duration  # one decision per segment
+            overshoot = max(0.0, self._x_hat - measured)
+            self._x_hat += self.kappa * dt * (
+                1.0 - (overshoot / self.omega if self.omega else 0.0)
+            )
+            self._x_hat = max(min(self._x_hat, measured + self.omega), 1e4)
+            self._y_hat = (
+                self.alpha_smooth * self._x_hat
+                + (1 - self.alpha_smooth) * (self._y_hat or self._x_hat)
+            )
+
+        budget = self.safety * (self._y_hat or measured)
+        current = ctx.last_quality if ctx.last_quality is not None else 0
+
+        chosen = 0
+        for quality in range(ctx.num_levels - 1, -1, -1):
+            rate = ctx.entry(quality).total_bytes * 8 / ctx.segment_duration
+            threshold = budget
+            if quality > current:
+                # Hysteresis: up-switches need extra headroom.
+                threshold = budget / self.up_hysteresis
+            if rate <= threshold:
+                chosen = quality
+                break
+        return Decision(
+            quality=chosen,
+            expected_score=ctx.entry(chosen).pristine_score,
+            unreliable=False,
+        )

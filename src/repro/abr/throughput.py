@@ -1,0 +1,39 @@
+"""Naive throughput-based ABR ("Tput" in §5).
+
+Picks the highest quality whose exact next-segment size can be fetched
+within one segment duration at a safety-discounted throughput estimate.
+The paper uses it to separate the transport's contribution from the ABR
+algorithm's.
+"""
+
+from __future__ import annotations
+
+from repro.abr.base import ABRAlgorithm, Decision, DecisionContext, clamp_quality
+
+
+class ThroughputABR(ABRAlgorithm):
+    """Rate-based selection with a multiplicative safety factor."""
+
+    name = "tput"
+
+    def __init__(self, safety: float = 0.9):
+        if not 0 < safety <= 1.5:
+            raise ValueError(f"implausible safety factor {safety}")
+        self.safety = safety
+
+    def choose(self, ctx: DecisionContext) -> Decision:
+        budget_bits = (
+            ctx.throughput_bps * self.safety * ctx.segment_duration
+        )
+        chosen = 0
+        for quality in range(ctx.num_levels - 1, -1, -1):
+            if ctx.entry(quality).total_bytes * 8 <= budget_bits:
+                chosen = quality
+                break
+        chosen = clamp_quality(chosen, ctx.num_levels)
+        return Decision(
+            quality=chosen,
+            target_bytes=None,
+            unreliable=True,  # opportunistic; harmless on plain QUIC
+            expected_score=ctx.entry(chosen).pristine_score,
+        )

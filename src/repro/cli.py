@@ -1,0 +1,315 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                      # catalogs: videos/abrs/traces
+    python -m repro prepare bbb               # offline analysis summary
+    python -m repro stream bbb --abr abr_star --trace verizon --buffer 2
+    python -m repro compare bbb --trace tmobile --buffer 1
+    python -m repro figure fig6 --light       # regenerate a paper figure
+    python -m repro survey                    # the simulated user study
+
+Every command prints human-readable text; ``--json`` switches to
+machine-readable output where applicable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro import available_abrs, available_traces, available_videos
+
+    data = {
+        "videos": available_videos(),
+        "abrs": available_abrs(),
+        "traces": available_traces(),
+    }
+    if args.json:
+        print(json.dumps(data, indent=2))
+        return 0
+    for kind, names in data.items():
+        print(f"{kind}: {', '.join(names)}")
+    return 0
+
+
+def _cmd_prepare(args: argparse.Namespace) -> int:
+    from repro import prepare_video
+    from repro.prep.ranking import Ordering
+
+    prepared = prepare_video(args.video)
+    manifest = prepared.manifest
+    counts: Dict[str, int] = {o.value: 0 for o in Ordering}
+    for rep in manifest.representations:
+        for entry in rep.segments:
+            counts[entry.ordering.value] += 1
+    summary = {
+        "video": prepared.name,
+        "levels": manifest.num_levels,
+        "segments": manifest.num_segments,
+        "manifest_bytes": manifest.metadata_bytes(),
+        "ordering_choices": counts,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"Prepared {prepared.name}: {manifest.num_levels} levels x "
+          f"{manifest.num_segments} segments")
+    print(f"Serialized manifest: {summary['manifest_bytes'] / 1e6:.2f} MB")
+    print("Chosen orderings per (segment, level):")
+    for ordering, count in counts.items():
+        print(f"  {ordering:20s} {count}")
+    entry = manifest.entry(manifest.num_levels - 1, 0)
+    print("Top-quality segment 0 virtual levels (score:frames:bytes):")
+    for point in entry.quality_points:
+        print(f"  {point.serialize()}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro import prepare_video, stream
+
+    prepared = prepare_video(args.video)
+    abr_kwargs: Dict = {}
+    if args.bandwidth_safety is not None:
+        abr_kwargs["bandwidth_safety"] = args.bandwidth_safety
+    result = stream(
+        prepared,
+        abr=args.abr,
+        trace=args.trace,
+        buffer_segments=args.buffer,
+        partially_reliable=not args.plain_quic,
+        seed=args.seed,
+        trace_shift_s=args.shift,
+        abr_kwargs=abr_kwargs or None,
+    )
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    metrics = result.metrics
+    print(f"{args.video} / {args.abr} / {args.trace} / "
+          f"{args.buffer}-segment buffer "
+          f"({'QUIC' if args.plain_quic else 'QUIC*'})")
+    print(f"  bufRatio       {metrics.buf_ratio * 100:7.2f} %")
+    print(f"  startup delay  {metrics.startup_delay:7.2f} s")
+    print(f"  mean SSIM      {metrics.mean_ssim:7.3f}")
+    print(f"  avg bitrate    {metrics.avg_bitrate_kbps:7.0f} kbps")
+    print(f"  data skipped   {metrics.data_skipped_fraction * 100:7.2f} %")
+    print(f"  residual loss  {metrics.residual_loss_fraction * 100:7.2f} %")
+    print(f"  switches       {metrics.quality_switches:7d}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro import prepare_video
+    from repro.abr import make_abr
+    from repro.network import get_trace
+    from repro.player import SessionConfig, StreamingSession
+
+    prepared = prepare_video(args.video)
+    trace = get_trace(args.trace, seed=args.seed)
+    systems = [
+        ("BOLA/QUIC", "bola", False),
+        ("BETA/QUIC", "beta", False),
+        ("VOXEL", "abr_star", True),
+    ]
+    rows = []
+    for label, abr_name, pr in systems:
+        buf_ratios, ssims, bitrates = [], [], []
+        for i in range(args.reps):
+            abr = make_abr(abr_name, prepared=prepared)
+            config = SessionConfig(
+                buffer_segments=args.buffer, partially_reliable=pr
+            )
+            session = StreamingSession(
+                prepared, abr,
+                trace.shifted(i * trace.duration / args.reps), config,
+            )
+            metrics = session.run()
+            buf_ratios.append(metrics.buf_ratio)
+            ssims.append(metrics.mean_ssim)
+            bitrates.append(metrics.avg_bitrate_kbps)
+        rows.append({
+            "system": label,
+            "buf_ratio_p90_pct": float(np.percentile(buf_ratios, 90)) * 100,
+            "mean_ssim": float(np.mean(ssims)),
+            "bitrate_kbps": float(np.mean(bitrates)),
+        })
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(f"{args.video} over {args.trace}, {args.buffer}-segment buffer, "
+          f"{args.reps} trials")
+    print(f"{'system':>12s} {'p90 bufRatio%':>14s} {'mean SSIM':>10s} "
+          f"{'kbps':>8s}")
+    for row in rows:
+        print(
+            f"{row['system']:>12s} {row['buf_ratio_p90_pct']:14.2f} "
+            f"{row['mean_ssim']:10.3f} {row['bitrate_kbps']:8.0f}"
+        )
+    return 0
+
+
+# Figure registry: name -> (callable path, light kwargs).
+_FIGURES = {
+    "tab1": ("table1_videos", {}),
+    "tab2": ("table2_ladder", {}),
+    "tab3": ("table3_youtube", {}),
+    "fig1": ("fig1_drop_tolerance", {"segment_stride": 3}),
+    "fig1d": ("fig1d_low_quality_ssim", {}),
+    "fig2a": ("fig2a_droppable_positions", {"segment_stride": 5}),
+    "fig2b": ("fig2b_ordering_comparison", {"segment_stride": 3}),
+    "fig2cd": ("fig2cd_virtual_levels", {}),
+    "fig3": ("fig3_fig4_vanilla_quicstar",
+             {"videos": ("bbb",), "repetitions": 3}),
+    "fig5": ("fig5_cross_traffic_vanilla",
+             {"videos": ("bbb",), "repetitions": 2}),
+    "fig6": ("fig6_bufratio",
+             {"videos": ("bbb", "tos"), "buffers": (1, 7),
+              "repetitions": 3}),
+    "fig7": ("fig7_metric_agnostic", {"repetitions": 3}),
+    "fig7d": ("fig7d_data_skipped", {"repetitions": 2}),
+    "fig8": ("fig8_bitrates",
+             {"videos": ("bbb",), "repetitions": 3}),
+    "fig9": ("fig9_ssim_cdfs", {"repetitions": 3}),
+    "fig10": ("fig10_components", {"trace_count": 30}),
+    "fig11": ("fig11_synthetic", {"repetitions": 3}),
+    "fig12": ("fig12_cross_traffic",
+              {"videos": ("bbb",), "repetitions": 2}),
+    "fig13": ("fig11d_fig13_wild",
+              {"videos": ("bbb", "tos"), "repetitions": 3}),
+    "fig15": ("fig15_vbr_variation", {}),
+    "fig16": ("fig16_long_queue",
+              {"videos": ("bbb",), "repetitions": 2}),
+    "fig18cd": ("fig18cd_reliability_ablation",
+                {"videos": ("bbb",), "repetitions": 3}),
+    "fig19": ("fig19_youtube_tolerance", {"segment_stride": 3}),
+    "retx": ("selective_retransmission_residual", {"repetitions": 4}),
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import figures as figures_module
+    from repro.experiments.report import render
+
+    key = args.name.lower()
+    if key not in _FIGURES:
+        print(f"unknown figure {args.name!r}; known: "
+              f"{', '.join(sorted(_FIGURES))}", file=sys.stderr)
+        return 2
+    func_name, light_kwargs = _FIGURES[key]
+    func = getattr(figures_module, func_name)
+    kwargs = dict(light_kwargs) if args.light else {}
+    result = func(**kwargs)
+    print(render(key, result))
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.experiments.survey import DIMENSIONS, fig14_survey
+
+    result = fig14_survey(
+        clips=args.clips, participants=args.participants, seed=args.seed
+    )
+    if args.json:
+        print(json.dumps({
+            "participants": result.participants,
+            "preference_voxel": result.preference_voxel,
+            "mos": result.mos,
+            "would_stop": result.would_stop,
+        }, indent=2))
+        return 0
+    print(f"Simulated survey, {result.participants} participants:")
+    for dim in DIMENSIONS:
+        print(
+            f"  {dim:10s} VOXEL {result.mos['VOXEL'][dim]:.2f}  "
+            f"BOLA {result.mos['BOLA'][dim]:.2f}  "
+            f"delta {result.mos_delta(dim):+.2f}"
+        )
+    print(f"  prefer VOXEL: {result.preference_voxel * 100:.0f}%")
+    print(
+        f"  would stop:   VOXEL {result.would_stop['VOXEL'] * 100:.0f}% / "
+        f"BOLA {result.would_stop['BOLA'] * 100:.0f}%"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VOXEL reproduction: prepare, stream, and regenerate "
+        "the paper's experiments.",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output where supported")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list videos, ABR algorithms and traces")
+
+    p_prepare = sub.add_parser("prepare", help="run the offline analysis")
+    p_prepare.add_argument("video")
+
+    p_stream = sub.add_parser("stream", help="stream one session")
+    p_stream.add_argument("video")
+    p_stream.add_argument("--abr", default="abr_star")
+    p_stream.add_argument("--trace", default="verizon")
+    p_stream.add_argument("--buffer", type=int, default=2,
+                          help="playback buffer in segments")
+    p_stream.add_argument("--plain-quic", action="store_true",
+                          help="disable partial reliability")
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument("--shift", type=float, default=0.0,
+                          help="trace shift in seconds")
+    p_stream.add_argument("--bandwidth-safety", type=float, default=None)
+
+    p_compare = sub.add_parser(
+        "compare", help="BOLA vs BETA vs VOXEL on one scenario"
+    )
+    p_compare.add_argument("video")
+    p_compare.add_argument("--trace", default="verizon")
+    p_compare.add_argument("--buffer", type=int, default=1)
+    p_compare.add_argument("--reps", type=int, default=5)
+    p_compare.add_argument("--seed", type=int, default=0)
+
+    p_figure = sub.add_parser(
+        "figure", help="regenerate a paper table/figure"
+    )
+    p_figure.add_argument("name", help=f"one of: {', '.join(sorted(_FIGURES))}")
+    p_figure.add_argument(
+        "--light", action="store_true",
+        help="reduced workload (fewer videos/repetitions)",
+    )
+
+    p_survey = sub.add_parser("survey", help="run the simulated user study")
+    p_survey.add_argument("--clips", type=int, default=8)
+    p_survey.add_argument("--participants", type=int, default=54)
+    p_survey.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "prepare": _cmd_prepare,
+    "stream": _cmd_stream,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "survey": _cmd_survey,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

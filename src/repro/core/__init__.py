@@ -1,0 +1,21 @@
+"""Top-level VOXEL API: prepare_video / stream convenience functions."""
+
+from repro.core.api import (
+    PreparedVideo,
+    StreamResult,
+    available_abrs,
+    available_traces,
+    available_videos,
+    prepare_video,
+    stream,
+)
+
+__all__ = [
+    "PreparedVideo",
+    "StreamResult",
+    "available_abrs",
+    "available_traces",
+    "available_videos",
+    "prepare_video",
+    "stream",
+]

@@ -1,0 +1,119 @@
+"""High-level convenience API — the paper's system in three calls.
+
+::
+
+    from repro import prepare_video, stream
+
+    prepared = prepare_video("bbb")           # offline, server side
+    result = stream(prepared,                 # online, client side
+                    abr="abr_star", trace="verizon", buffer_segments=2)
+    print(result.metrics.buf_ratio, result.metrics.mean_ssim)
+
+``prepare_video`` runs VOXEL's one-time analysis (frame ranking, drop
+curves, manifest enrichment); ``stream`` plays the prepared video through
+an ABR algorithm over an emulated network and returns the full metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.abr import ABR_NAMES, make_abr
+from repro.network.traces import TRACE_NAMES, NetworkTrace, get_trace
+from repro.player.metrics import SessionMetrics
+from repro.player.session import SessionConfig, StreamingSession
+from repro.prep.prepare import PreparedVideo, get_prepared, prepare
+from repro.video.content import ALL_VIDEOS
+
+
+@dataclass
+class StreamResult:
+    """Everything produced by one :func:`stream` call."""
+
+    metrics: SessionMetrics
+    prepared: PreparedVideo
+    config: SessionConfig
+
+    @property
+    def buf_ratio(self) -> float:
+        return self.metrics.buf_ratio
+
+    @property
+    def mean_ssim(self) -> float:
+        return self.metrics.mean_ssim
+
+    def summary(self) -> Dict[str, float]:
+        return self.metrics.summary()
+
+
+def available_videos() -> List[str]:
+    """Catalog names usable with :func:`prepare_video`."""
+    return list(ALL_VIDEOS)
+
+
+def available_abrs() -> List[str]:
+    """ABR algorithm names usable with :func:`stream`."""
+    return list(ABR_NAMES)
+
+
+def available_traces() -> List[str]:
+    """Network trace names usable with :func:`stream`."""
+    return list(TRACE_NAMES)
+
+
+def prepare_video(name: str, cached: bool = True) -> PreparedVideo:
+    """Run the offline VOXEL preparation for a catalog video.
+
+    Args:
+        name: catalog video name (see :func:`available_videos`).
+        cached: reuse the process-wide cache (preparation is a one-time,
+            deterministic computation — exactly the paper's story).
+    """
+    if cached:
+        return get_prepared(name)
+    return prepare(name)
+
+
+def stream(
+    prepared: PreparedVideo,
+    abr: str = "abr_star",
+    trace: str = "verizon",
+    buffer_segments: int = 3,
+    partially_reliable: bool = True,
+    seed: int = 0,
+    trace_shift_s: float = 0.0,
+    abr_kwargs: Optional[Dict] = None,
+    network_trace: Optional[NetworkTrace] = None,
+    **session_kwargs,
+) -> StreamResult:
+    """Stream a prepared video once and return the session metrics.
+
+    Args:
+        prepared: output of :func:`prepare_video`.
+        abr: algorithm name ("tput", "bola", "mpc", "beta",
+            "bola_ssim", "abr_star"/"voxel").
+        trace: network trace name (see :func:`available_traces`).
+        buffer_segments: playback buffer size in segments.
+        partially_reliable: QUIC* (True) or plain QUIC (False).
+        seed: trace generator seed.
+        trace_shift_s: linear trace shift (repetition protocol of §5).
+        abr_kwargs: extra keyword arguments for the ABR constructor.
+        network_trace: pass an explicit trace object instead of a name.
+        **session_kwargs: forwarded to :class:`SessionConfig` (e.g.
+            ``queue_packets=750``, ``selective_retransmission=False``).
+    """
+    the_trace = (
+        network_trace
+        if network_trace is not None
+        else get_trace(trace, seed=seed)
+    ).shifted(trace_shift_s)
+    algorithm = make_abr(abr, prepared=prepared, **(abr_kwargs or {}))
+    config = SessionConfig(
+        buffer_segments=buffer_segments,
+        partially_reliable=partially_reliable,
+        **session_kwargs,
+    )
+    session = StreamingSession(prepared, algorithm, the_trace, config)
+    metrics = session.run()
+    return StreamResult(metrics=metrics, prepared=prepared, config=config)

@@ -1,0 +1,29 @@
+"""Experiment harness: runner, per-figure reproductions, user survey."""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    TrialSummary,
+    compare,
+    run_single,
+    run_trials,
+)
+from repro.experiments.survey import (
+    DIMENSIONS,
+    SurveyResult,
+    fig14_survey,
+    run_survey,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "ExperimentConfig",
+    "TrialSummary",
+    "compare",
+    "run_single",
+    "run_trials",
+    "DIMENSIONS",
+    "SurveyResult",
+    "fig14_survey",
+    "run_survey",
+    "figures",
+]

@@ -1,0 +1,162 @@
+"""Flow-fairness study (§5.2 mentions fairness results were omitted).
+
+"As all streams in VOXEL are congestion-controlled, we have no
+flow-fairness concerns."  This module substantiates that claim with the
+packet-level backend: several flows — any mix of reliable and
+QUIC*-unreliable bulk transfers — share one bottleneck router, and we
+measure each flow's realized throughput plus Jain's fairness index.
+
+The key property: QUIC*'s unreliable streams still run CUBIC, so an
+unreliable flow claims no more than its fair share even though it never
+retransmits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.network.events import EventScheduler
+from repro.network.packetlink import PacketRouter
+from repro.network.traces import NetworkTrace, constant_trace
+from repro.transport.packet_connection import PacketLevelConnection
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one flow in a fairness run."""
+
+    label: str
+    reliable: bool
+    delivered_bytes: int
+    elapsed: float
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.delivered_bytes * 8.0 / self.elapsed / 1e6
+
+
+@dataclass
+class FairnessResult:
+    """Aggregate of a fairness run."""
+
+    flows: List[FlowResult]
+    link_mbps: float
+
+    @property
+    def jain_index(self) -> float:
+        """Jain's fairness index over flow throughputs (1.0 = perfect)."""
+        rates = np.array([flow.throughput_mbps for flow in self.flows])
+        if not len(rates) or rates.sum() == 0:
+            return 1.0
+        return float(rates.sum() ** 2 / (len(rates) * (rates**2).sum()))
+
+    @property
+    def utilization(self) -> float:
+        rates = sum(flow.throughput_mbps for flow in self.flows)
+        return rates / self.link_mbps
+
+
+class _BulkFlow:
+    """A long-lived transfer that keeps its pipe full until `total` sent.
+
+    Implemented as a thin driver around :class:`PacketLevelConnection`:
+    the connection's ``download`` is blocking, so concurrent flows are
+    realized by giving every flow its own connection on the *shared*
+    router and interleaving them through the shared event scheduler —
+    each flow's sender callbacks fire from the same loop.
+    """
+
+    def __init__(self, label: str, connection: PacketLevelConnection,
+                 total_bytes: int, reliable: bool):
+        self.label = label
+        self.connection = connection
+        self.total_bytes = total_bytes
+        self.reliable = reliable
+        self.started = False
+        self.result = None
+
+    def start(self, scheduler: EventScheduler) -> None:
+        """Arm the flow's sender state without blocking."""
+        conn = self.connection
+        conn._reliable = self.reliable or not conn.partially_reliable
+        conn._limit = self.total_bytes
+        conn._next_offset = 0
+        conn._inflight = {}
+        conn._delivered_bytes = 0
+        conn._lost = []
+        conn._retx_queue = []
+        conn._progress = None
+        conn._done = False
+        conn._start_time = scheduler.now
+        latency = 2 * conn.router.propagation_s
+        scheduler.schedule(latency, conn._pump)
+        scheduler.schedule(latency, conn._check_done)
+        self.started = True
+
+    @property
+    def done(self) -> bool:
+        return self.started and self.connection._done
+
+    def finish(self, scheduler: EventScheduler) -> FlowResult:
+        conn = self.connection
+        end = conn._done_time if conn._done else scheduler.now
+        return FlowResult(
+            label=self.label,
+            reliable=self.reliable,
+            delivered_bytes=conn._delivered_bytes,
+            elapsed=end - conn._start_time,
+        )
+
+
+def run_fairness(
+    link_mbps: float = 20.0,
+    flow_specs: Sequence[tuple] = (
+        ("reliable-1", True),
+        ("reliable-2", True),
+        ("unreliable-voxel", False),
+    ),
+    transfer_mb: float = 10.0,
+    queue_packets: int = 64,
+    trace: NetworkTrace = None,
+) -> FairnessResult:
+    """Run concurrent bulk flows over one bottleneck.
+
+    Args:
+        link_mbps: bottleneck capacity (constant unless ``trace`` given).
+        flow_specs: (label, reliable) per flow; unreliable flows model
+            QUIC*'s non-retransmitting streams.
+        transfer_mb: bytes each flow pushes.
+        queue_packets: shared droptail queue size.
+        trace: optional explicit capacity trace.
+
+    Returns:
+        Per-flow throughputs and Jain's index, measured over each flow's
+        own completion time.
+    """
+    scheduler = EventScheduler()
+    the_trace = trace if trace is not None else constant_trace(
+        link_mbps, duration=3600
+    )
+    router = PacketRouter(scheduler, the_trace, queue_packets=queue_packets)
+
+    flows = []
+    for label, reliable in flow_specs:
+        connection = PacketLevelConnection(
+            router, scheduler, partially_reliable=True
+        )
+        flows.append(
+            _BulkFlow(
+                label, connection, int(transfer_mb * 1e6), reliable
+            )
+        )
+    for flow in flows:
+        flow.start(scheduler)
+
+    scheduler.run_until(lambda: all(flow.done for flow in flows))
+    results = [flow.finish(scheduler) for flow in flows]
+    return FairnessResult(flows=results, link_mbps=link_mbps)

@@ -1,0 +1,178 @@
+"""Experiment runner (§5, "Experiments").
+
+An *experiment* streams one video under a fixed configuration — ABR
+algorithm, buffer size, video, network trace, transport flavour — and is
+repeated (30 times in the paper) with the trace linearly shifted by
+``d/reps`` seconds per repetition to probe the interaction between
+throughput variations and VBR segment-size variations.  Aggregates follow
+the paper: 90th percentile and standard error of bufRatio, means of
+average bitrates, CDFs of per-segment scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.abr import make_abr
+from repro.network.crosstraffic import (
+    CrossTrafficConfig,
+    generate_cross_demand,
+)
+from repro.network.traces import NetworkTrace, get_trace
+from repro.player.metrics import SessionMetrics, percentile_across, stderr_across
+from repro.player.session import SessionConfig, StreamingSession
+from repro.prep.prepare import PreparedVideo, get_prepared
+
+
+@dataclass
+class ExperimentConfig:
+    """One cell of the paper's evaluation matrix."""
+
+    video: str = "bbb"
+    abr: str = "bola"
+    trace: str = "verizon"
+    buffer_segments: int = 3
+    partially_reliable: bool = True
+    repetitions: int = 30
+    seed: int = 0
+    cross_traffic_mbps: Optional[float] = None
+    link_mbps_under_cross: float = 20.0
+    queue_packets: Optional[int] = 32
+    force_reliable_payload: bool = False
+    selective_retransmission: bool = True
+    abr_kwargs: Dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        pr = "Q*" if self.partially_reliable else "Q"
+        return f"{self.video}/{self.abr}/{pr}/{self.trace}/buf{self.buffer_segments}"
+
+
+@dataclass
+class TrialSummary:
+    """Aggregate of the repetitions of one experiment."""
+
+    config: ExperimentConfig
+    sessions: List[SessionMetrics]
+
+    @property
+    def buf_ratio_p90(self) -> float:
+        return percentile_across(self.sessions, "buf_ratio", 90)
+
+    @property
+    def buf_ratio_mean(self) -> float:
+        return float(np.mean([s.buf_ratio for s in self.sessions]))
+
+    @property
+    def buf_ratio_stderr(self) -> float:
+        return stderr_across(self.sessions, "buf_ratio")
+
+    @property
+    def mean_bitrate_kbps(self) -> float:
+        return float(np.mean([s.avg_bitrate_kbps for s in self.sessions]))
+
+    @property
+    def mean_ssim(self) -> float:
+        return float(np.mean([s.mean_ssim for s in self.sessions]))
+
+    @property
+    def mean_data_skipped(self) -> float:
+        return float(np.mean([s.data_skipped_fraction for s in self.sessions]))
+
+    @property
+    def mean_residual_loss(self) -> float:
+        return float(np.mean([s.residual_loss_fraction for s in self.sessions]))
+
+    def ssim_samples(self) -> np.ndarray:
+        """All per-segment scores across repetitions (CDF material)."""
+        return np.concatenate([s.scores for s in self.sessions])
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "buf_ratio_p90": self.buf_ratio_p90,
+            "buf_ratio_mean": self.buf_ratio_mean,
+            "buf_ratio_stderr": self.buf_ratio_stderr,
+            "bitrate_kbps": self.mean_bitrate_kbps,
+            "ssim": self.mean_ssim,
+            "data_skipped": self.mean_data_skipped,
+        }
+
+
+def _resolve_trace(config: ExperimentConfig) -> NetworkTrace:
+    if config.cross_traffic_mbps is not None:
+        return get_trace(f"constant:{config.link_mbps_under_cross}")
+    return get_trace(config.trace, seed=config.seed)
+
+
+def run_single(
+    config: ExperimentConfig,
+    shift_s: float = 0.0,
+    prepared: Optional[PreparedVideo] = None,
+    trace: Optional[NetworkTrace] = None,
+) -> SessionMetrics:
+    """Run one streaming session for the configuration."""
+    if prepared is None:
+        prepared = get_prepared(config.video)
+    if trace is None:
+        trace = _resolve_trace(config)
+    trace = trace.shifted(shift_s)
+
+    cross = None
+    if config.cross_traffic_mbps is not None:
+        cross = generate_cross_demand(
+            CrossTrafficConfig(
+                target_mbps=config.cross_traffic_mbps,
+                link_mbps=config.link_mbps_under_cross,
+                seed=config.seed + int(shift_s * 1000) % 997,
+            ),
+            duration=int(trace.duration),
+        )
+
+    abr = make_abr(config.abr, prepared=prepared, **config.abr_kwargs)
+    session_config = SessionConfig(
+        buffer_segments=config.buffer_segments,
+        partially_reliable=config.partially_reliable,
+        force_reliable_payload=config.force_reliable_payload,
+        selective_retransmission=config.selective_retransmission,
+        queue_packets=config.queue_packets,
+    )
+    session = StreamingSession(
+        prepared, abr, trace, session_config, cross_demand=cross
+    )
+    return session.run()
+
+
+def run_trials(
+    config: ExperimentConfig,
+    prepared: Optional[PreparedVideo] = None,
+) -> TrialSummary:
+    """Run all repetitions with per-repetition trace shifting."""
+    if prepared is None:
+        prepared = get_prepared(config.video)
+    trace = _resolve_trace(config)
+    reps = max(config.repetitions, 1)
+    shift_step = trace.duration / reps
+    sessions = [
+        run_single(config, shift_s=i * shift_step, prepared=prepared,
+                   trace=trace)
+        for i in range(reps)
+    ]
+    return TrialSummary(config=config, sessions=sessions)
+
+
+def compare(
+    base: ExperimentConfig,
+    variants: Dict[str, Dict],
+    prepared: Optional[PreparedVideo] = None,
+) -> Dict[str, TrialSummary]:
+    """Run several variants of a base configuration.
+
+    ``variants`` maps a label to field overrides of the base config.
+    """
+    out: Dict[str, TrialSummary] = {}
+    for label, overrides in variants.items():
+        config = replace(base, **overrides)
+        out[label] = run_trials(config, prepared=prepared)
+    return out

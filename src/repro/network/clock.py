@@ -1,0 +1,28 @@
+"""Simulation clock shared by the network, transport and player layers."""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A simple monotonically advancing simulation clock.
+
+    The streaming session owns the clock; the transport advances it while
+    downloads progress, and the player reads it to account playback and
+    stalls.  Keeping it explicit (instead of a global) lets tests run many
+    independent sessions side by side.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds (must be non-negative)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by {dt}")
+        self.now += dt
+        return self.now
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self.now:.3f})"

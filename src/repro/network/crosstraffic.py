@@ -1,0 +1,107 @@
+"""Harpoon-style flow-level cross-traffic generator (§5.1).
+
+Harpoon generates traffic from web-like workloads: clients fetch files of
+heavy-tailed sizes at random times from servers, producing self-similar
+aggregate load — "many high and low bandwidth regions" rather than a
+constant bite out of the link.
+
+This module reproduces that aggregate behaviour: flows arrive as a
+Poisson process, carry Pareto-distributed sizes, and each active flow
+claims a fair share of the link.  The generator realizes the aggregate
+*demand* as a per-second rate series; the bottleneck link subtracts it
+from the raw capacity (with a floor guaranteeing the video flow its own
+fair share, since cross flows are congestion controlled too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.network.traces import NetworkTrace
+
+
+@dataclass(frozen=True)
+class CrossTrafficConfig:
+    """Parameters of the flow-level generator.
+
+    Attributes:
+        target_mbps: long-run average demand (the paper sweeps 10/15/20).
+        link_mbps: capacity of the shared bottleneck (paper: 20 Mbps).
+        pareto_shape: tail index of flow sizes (heavy-tailed; 1.6 keeps
+            the realized load near the target over minutes-long runs).
+        mean_flow_mb: mean flow size in megabytes.
+        seed: generator seed.
+    """
+
+    target_mbps: float
+    link_mbps: float = 20.0
+    pareto_shape: float = 1.6
+    mean_flow_mb: float = 1.5
+    seed: int = 0
+
+
+def generate_cross_demand(
+    config: CrossTrafficConfig, duration: int
+) -> NetworkTrace:
+    """Realize the aggregate cross-traffic demand as a rate series.
+
+    Flows arrive Poisson at a rate chosen so the offered load averages
+    ``target_mbps``; each second, the active flows share the link fairly
+    and drain their remaining bytes at that rate.  The resulting series is
+    bursty and self-similar-ish: idle valleys alternate with periods where
+    several elephant flows saturate the link.
+    """
+    rng = np.random.default_rng(
+        (config.seed * 2654435761 + hash(config.target_mbps)) % (2**63)
+    )
+    mean_size_bits = config.mean_flow_mb * 8e6
+    arrival_rate = config.target_mbps * 1e6 / mean_size_bits  # flows/s
+
+    # Pareto with mean mean_size_bits: scale = mean * (shape-1)/shape.
+    shape = config.pareto_shape
+    scale = mean_size_bits * (shape - 1.0) / shape
+
+    active: list = []  # remaining bits per flow
+    demand = np.zeros(duration)
+    link_bps = config.link_mbps * 1e6
+    for t in range(duration):
+        arrivals = rng.poisson(arrival_rate)
+        for _ in range(arrivals):
+            size = scale * (1.0 + rng.pareto(shape))
+            active.append(size)
+        if not active:
+            demand[t] = 0.0
+            continue
+        # Fair share among cross flows plus the (one) video flow.
+        share = link_bps / (len(active) + 1)
+        used = 0.0
+        remaining = []
+        for bits in active:
+            sent = min(bits, share)
+            used += sent
+            left = bits - sent
+            if left > 1:
+                remaining.append(left)
+        active = remaining
+        demand[t] = used / 1e6
+    return NetworkTrace(f"cross-{config.target_mbps:g}mbps", demand)
+
+
+def cross_traffic_available(
+    link_mbps: float,
+    demand: NetworkTrace,
+    fairness_floor: float = 0.25,
+) -> NetworkTrace:
+    """Bandwidth left for the video flow under the given cross demand.
+
+    The video flow is congestion controlled, so it never gets starved
+    below a fair-share floor: cross flows back off too.  The floor is a
+    fraction of the link that the video flow can always claim.
+    """
+    available = np.maximum(
+        link_mbps - demand.samples_mbps, fairness_floor * link_mbps
+    )
+    return NetworkTrace(f"avail-under-{demand.name}", available)

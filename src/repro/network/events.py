@@ -1,0 +1,72 @@
+"""Discrete-event scheduler for the packet-level simulation backend.
+
+The round-based transport (:mod:`repro.transport.connection`) is fast
+enough for full experiment sweeps; the packet-level backend built on this
+scheduler exists to *validate* it (see ``benchmarks/bench_backends.py``)
+and to support experiments that genuinely need per-packet interleaving,
+such as multi-flow fairness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class EventScheduler:
+    """A classic heap-based discrete-event loop.
+
+    Events are ``(time, sequence, callback)``; the sequence number keeps
+    ordering stable for simultaneous events.  Callbacks may schedule
+    further events.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._cancelled: set = set()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns an id usable with :meth:`cancel`.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay} s in the past")
+        event_id = next(self._counter)
+        heapq.heappush(self._heap, (self.now + delay, event_id, callback))
+        return event_id
+
+    def cancel(self, event_id: int) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        self._cancelled.add(event_id)
+
+    def empty(self) -> bool:
+        return not self._heap
+
+    def step(self) -> bool:
+        """Run the next event; returns False when nothing is pending."""
+        while self._heap:
+            time, event_id, callback = heapq.heappop(self._heap)
+            if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
+                continue
+            if time < self.now - 1e-12:
+                raise RuntimeError("event scheduled in the past")
+            self.now = max(self.now, time)
+            callback()
+            return True
+        return False
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_events: int = 50_000_000) -> None:
+        """Process events until ``predicate()`` holds or the heap drains."""
+        events = 0
+        while not predicate():
+            if not self.step():
+                return
+            events += 1
+            if events > max_events:
+                raise RuntimeError("event budget exhausted (livelock?)")

@@ -1,0 +1,130 @@
+"""Bottleneck link with a droptail queue (§5, "Network testbed").
+
+The testbed emulates a one-hop path: server -> router -> client, with the
+router shaping to the trace bandwidth, a droptail queue (1.25x the
+bandwidth-delay product by default, or a fixed packet count when a trace
+experiment pins it, or 750 packets for the long-queue study of §B), and a
+30 ms last-mile delay on the router-to-client link.
+
+The link is simulated at *round* (RTT-window) granularity: each round the
+sender offers a burst of packets; the queue absorbs what the service rate
+cannot carry; overflow beyond the queue limit is tail-dropped.  Queueing
+delay feeds back into the RTT.  This keeps the loss <-> congestion-window
+feedback loop of a packet-level simulation at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.network.traces import NetworkTrace
+
+MTU = 1500  # bytes
+BASE_RTT = 0.060  # 30 ms each way (§5)
+
+
+@dataclass
+class RoundOutcome:
+    """Result of offering one round's burst to the link."""
+
+    delivered_packets: int
+    dropped_packets: int
+    rtt: float  # round-trip time experienced by this round's packets
+    bandwidth_bps: float  # service rate that applied during the round
+
+
+class BottleneckLink:
+    """Trace-driven droptail bottleneck shared with optional cross traffic.
+
+    Args:
+        trace: raw capacity of the bottleneck over time.
+        cross_demand: aggregate cross-traffic demand; the video flow gets
+            ``max(capacity - demand, fairness_floor * capacity)``.
+        queue_packets: droptail queue limit in packets.  ``None`` sizes
+            the queue to ``bdp_factor`` times the bandwidth-delay product
+            of the *average* trace bandwidth, like the testbed.
+        bdp_factor: queue size as a multiple of the BDP (default 1.25).
+        base_rtt: propagation RTT in seconds.
+        mtu: packet size in bytes.
+        fairness_floor: minimum capacity share the video flow keeps under
+            cross traffic (cross flows are congestion controlled too).
+    """
+
+    def __init__(
+        self,
+        trace: NetworkTrace,
+        cross_demand: Optional[NetworkTrace] = None,
+        queue_packets: Optional[int] = 32,
+        bdp_factor: float = 1.25,
+        base_rtt: float = BASE_RTT,
+        mtu: int = MTU,
+        fairness_floor: float = 0.25,
+    ):
+        self.trace = trace
+        self.cross_demand = cross_demand
+        self.base_rtt = base_rtt
+        self.mtu = mtu
+        self.fairness_floor = fairness_floor
+        if queue_packets is None:
+            bdp_bytes = trace.mean_mbps() * 1e6 * base_rtt / 8.0
+            queue_packets = max(int(bdp_factor * bdp_bytes / mtu), 4)
+        self.queue_packets = int(queue_packets)
+        self.queue_bytes = 0  # current occupancy
+
+    # ------------------------------------------------------------------
+    def available_bps(self, t: float) -> float:
+        """Service rate available to the video flow at time ``t``."""
+        capacity = self.trace.bandwidth_bps(t)
+        if self.cross_demand is None:
+            return max(capacity, 1e3)
+        demand = self.cross_demand.bandwidth_bps(t)
+        return max(capacity - demand, self.fairness_floor * capacity, 1e3)
+
+    def current_rtt(self, t: float) -> float:
+        """Propagation plus queueing delay at time ``t``."""
+        service = self.available_bps(t)
+        return self.base_rtt + self.queue_bytes * 8.0 / service
+
+    def offer_round(self, t: float, packets: int) -> RoundOutcome:
+        """Send a burst of ``packets`` through the link over one RTT.
+
+        Returns how many packets survived, how many were tail-dropped,
+        and the RTT the round experienced.  Advancing the clock is the
+        caller's job (by ``rtt``).
+        """
+        if packets < 0:
+            raise ValueError("cannot offer a negative burst")
+        service = self.available_bps(t)
+        rtt = self.base_rtt + self.queue_bytes * 8.0 / service
+
+        # Bytes the link can serve while this round is in flight.
+        serviceable = service * rtt / 8.0
+        arrivals = packets * self.mtu
+
+        backlog = self.queue_bytes + arrivals - serviceable
+        if backlog < 0:
+            backlog = 0.0
+        limit = self.queue_packets * self.mtu
+        dropped_bytes = max(backlog - limit, 0.0)
+        self.queue_bytes = min(backlog, limit)
+
+        dropped = min(int(dropped_bytes // self.mtu), packets)
+        delivered = packets - dropped
+        return RoundOutcome(
+            delivered_packets=delivered,
+            dropped_packets=dropped,
+            rtt=rtt,
+            bandwidth_bps=service,
+        )
+
+    def drain(self, t: float, dt: float) -> None:
+        """Let the queue drain while the sender is idle for ``dt``."""
+        if dt <= 0:
+            return
+        service = self.available_bps(t)
+        self.queue_bytes = max(0.0, self.queue_bytes - service * dt / 8.0)
+
+    def reset(self) -> None:
+        """Empty the queue (fresh connection on a quiet path)."""
+        self.queue_bytes = 0

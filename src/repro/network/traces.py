@@ -1,0 +1,283 @@
+"""Network bandwidth traces (§5, "Network traces").
+
+The paper replays five prerecorded traces — three LTE traces (T-Mobile,
+Verizon, AT&T) from Winstein et al., a Norwegian 3G commute trace from
+Riiser et al., and an FCC fixed-line broadband trace — all *linearly
+offset* so their average matches the 10 Mbps top-level bitrate.  The
+offset preserves the absolute variations; what distinguishes the traces
+is their variability (std-dev ~9-10 Mbps for T-Mobile/Verizon, 2.88 for
+AT&T, 2.35 for FCC, 1.1 for 3G).
+
+The raw recordings are not redistributable here, so this module generates
+*synthetic* traces from seeded regime-switching models calibrated to the
+same mean/std-dev/burstiness regime, plus the synthetic constant and step
+traces of §5.2, an "in-the-wild" WiFi-like trace, and the 86-trace 3G
+commute corpus used for Fig. 10 (low average bandwidth, unscaled).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class NetworkTrace:
+    """A bandwidth time series with 1-second resolution.
+
+    The trace loops when playback outlasts it, and supports the paper's
+    per-trial *linear shift* (each of the 30 repetitions shifts the trace
+    by d/30 seconds to probe interactions between throughput variations
+    and VBR segment-size variations).
+    """
+
+    name: str
+    samples_mbps: np.ndarray  # one sample per second
+    shift_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.samples_mbps = np.asarray(self.samples_mbps, dtype=float)
+        if self.samples_mbps.ndim != 1 or len(self.samples_mbps) == 0:
+            raise ValueError("trace needs a 1-D, non-empty sample array")
+        if (self.samples_mbps < 0).any():
+            raise ValueError("trace samples must be non-negative")
+
+    @property
+    def duration(self) -> float:
+        return float(len(self.samples_mbps))
+
+    def bandwidth_mbps(self, t: float) -> float:
+        """Available bandwidth at absolute time ``t`` (loops)."""
+        # floor, not int(): truncation toward zero mis-indexes negative
+        # shifted times by one sample.
+        idx = math.floor(t + self.shift_s) % len(self.samples_mbps)
+        return float(self.samples_mbps[idx])
+
+    def bandwidth_bps(self, t: float) -> float:
+        return self.bandwidth_mbps(t) * 1e6
+
+    def shifted(self, shift_s: float) -> "NetworkTrace":
+        """A view of the same trace, shifted by ``shift_s`` seconds."""
+        return NetworkTrace(
+            name=self.name,
+            samples_mbps=self.samples_mbps,
+            shift_s=self.shift_s + shift_s,
+        )
+
+    def offset_to_mean(self, target_mbps: float, floor: float = 0.05
+                       ) -> "NetworkTrace":
+        """Linearly offset the trace so its mean matches ``target_mbps``.
+
+        This is the paper's scaling: adding a constant keeps the absolute
+        throughput variations intact.  Samples are floored at a small
+        positive value (a link is never exactly dead for a full second).
+        """
+        delta = target_mbps - float(self.samples_mbps.mean())
+        samples = np.maximum(self.samples_mbps + delta, floor)
+        return NetworkTrace(name=self.name, samples_mbps=samples,
+                            shift_s=self.shift_s)
+
+    def mean_mbps(self) -> float:
+        return float(self.samples_mbps.mean())
+
+    def std_mbps(self) -> float:
+        return float(self.samples_mbps.std())
+
+
+def _seed_from(name: str, seed: int) -> np.random.Generator:
+    digest = hashlib.sha256(f"{name}:{seed}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+def _regime_switching(
+    rng: np.random.Generator,
+    duration: int,
+    levels_mbps: Sequence[float],
+    stay_prob: float,
+    sigma: float,
+    outage_level: Optional[float] = None,
+    outage_prob: float = 0.0,
+    outage_mean_len: float = 3.0,
+) -> np.ndarray:
+    """Markov regime-switching bandwidth generator.
+
+    The process hops between discrete capacity regimes (cell conditions)
+    and jitters lognormally within a regime; optional outage regimes model
+    the deep fades of challenging cellular traces.
+    """
+    samples = np.empty(duration)
+    state = int(rng.integers(0, len(levels_mbps)))
+    outage_left = 0
+    for t in range(duration):
+        if outage_left > 0:
+            outage_left -= 1
+            samples[t] = max(outage_level * rng.lognormal(0, 0.4), 0.01)
+            continue
+        if outage_level is not None and rng.random() < outage_prob:
+            outage_left = max(int(rng.exponential(outage_mean_len)), 1)
+            samples[t] = max(outage_level * rng.lognormal(0, 0.4), 0.01)
+            continue
+        if rng.random() > stay_prob:
+            state = int(rng.integers(0, len(levels_mbps)))
+        samples[t] = levels_mbps[state] * rng.lognormal(0, sigma)
+    return samples
+
+
+_DEFAULT_DURATION = 320  # seconds; slightly longer than a 75x4 s video
+
+
+def tmobile_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+    """T-Mobile-LTE-like: extreme variability (std ~10 Mbps), long fades."""
+    rng = _seed_from("tmobile", seed)
+    raw = _regime_switching(
+        rng, duration,
+        levels_mbps=[2.5, 7.0, 14.0],
+        stay_prob=0.93, sigma=0.62,
+        outage_level=0.5, outage_prob=0.028, outage_mean_len=4.0,
+    )
+    return NetworkTrace("tmobile", raw).offset_to_mean(10.0)
+
+
+def verizon_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+    """Verizon-LTE-like: high variability (std ~9 Mbps), shorter fades."""
+    rng = _seed_from("verizon", seed)
+    raw = _regime_switching(
+        rng, duration,
+        levels_mbps=[4.0, 8.5, 15.0],
+        stay_prob=0.92, sigma=0.55,
+        outage_level=1.5, outage_prob=0.01, outage_mean_len=2.0,
+    )
+    return NetworkTrace("verizon", raw).offset_to_mean(10.0)
+
+
+def att_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+    """AT&T-LTE-like: mild variability (std ~2.9 Mbps), no deep fades."""
+    rng = _seed_from("att", seed)
+    raw = _regime_switching(
+        rng, duration,
+        levels_mbps=[7.0, 10.0, 13.0],
+        stay_prob=0.85, sigma=0.18,
+    )
+    return NetworkTrace("att", raw).offset_to_mean(10.0)
+
+
+def threeg_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+    """The Riiser 3G commute trace, offset to 10 Mbps (std ~1.1 Mbps)."""
+    rng = _seed_from("threeg", seed)
+    base = _regime_switching(
+        rng, duration,
+        levels_mbps=[1.2, 2.0, 2.8],
+        stay_prob=0.9, sigma=0.25,
+    )
+    return NetworkTrace("3g", base).offset_to_mean(10.0)
+
+
+def fcc_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+    """FCC fixed-line broadband: stable with rare dips (std ~2.35 Mbps)."""
+    rng = _seed_from("fcc", seed)
+    raw = _regime_switching(
+        rng, duration,
+        levels_mbps=[9.0, 10.5, 11.5],
+        stay_prob=0.93, sigma=0.1,
+        outage_level=3.0, outage_prob=0.02, outage_mean_len=2.0,
+    )
+    return NetworkTrace("fcc", raw).offset_to_mean(10.0)
+
+
+def wild_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+    """In-the-wild university-WiFi-like path (France -> Germany, §5.2).
+
+    Plenty of headroom on average, with contention-induced dips — the
+    regime where BOLA and VOXEL tie on large buffers but small buffers
+    expose the difference.
+    """
+    rng = _seed_from("wild", seed)
+    raw = _regime_switching(
+        rng, duration,
+        levels_mbps=[6.0, 14.0, 22.0],
+        stay_prob=0.85, sigma=0.22,
+        outage_level=1.5, outage_prob=0.02, outage_mean_len=2.0,
+    )
+    return NetworkTrace("wild", raw).offset_to_mean(12.0)
+
+
+def constant_trace(mbps: float, duration: int = _DEFAULT_DURATION,
+                   name: Optional[str] = None) -> NetworkTrace:
+    """Constant-bandwidth synthetic trace (Fig. 11a: 10.5 Mbps)."""
+    return NetworkTrace(
+        name or f"constant-{mbps}",
+        np.full(duration, float(mbps)),
+    )
+
+
+def step_trace(
+    before_mbps: float = 10.75,
+    after_mbps: float = 10.5,
+    step_at_s: float = 70.0,
+    duration: int = _DEFAULT_DURATION,
+) -> NetworkTrace:
+    """Step trace of Fig. 11c: starts high, drops at ``step_at_s``."""
+    samples = np.full(duration, float(before_mbps))
+    samples[int(step_at_s):] = float(after_mbps)
+    return NetworkTrace(f"step-{before_mbps}-{after_mbps}", samples)
+
+
+def riiser_3g_corpus(
+    count: int = 86, seed: int = 0, duration: int = _DEFAULT_DURATION
+) -> List[NetworkTrace]:
+    """The 86 raw 3G commute traces of Fig. 10 (low bandwidth, unscaled).
+
+    Means are drawn around 1-4 Mbps — low enough that streaming mostly
+    lives at the bottom half of the ladder, which is exactly how the paper
+    stress-tests BOLA vs BOLA-SSIM vs VOXEL with a 1-segment buffer.
+    """
+    rng = _seed_from("riiser-corpus", seed)
+    traces = []
+    for i in range(count):
+        mean = float(rng.uniform(0.8, 4.0))
+        sub = _seed_from("riiser", seed * 1000 + i)
+        raw = _regime_switching(
+            sub, duration,
+            levels_mbps=[0.4 * mean, mean, 1.6 * mean],
+            stay_prob=0.88, sigma=0.3,
+            outage_level=0.08 * mean, outage_prob=0.03, outage_mean_len=4.0,
+        )
+        trace = NetworkTrace(f"3g-{i:02d}", np.maximum(raw, 0.05))
+        traces.append(trace)
+    return traces
+
+
+_GENERATORS: Dict[str, Callable[..., NetworkTrace]] = {
+    "tmobile": tmobile_trace,
+    "verizon": verizon_trace,
+    "att": att_trace,
+    "3g": threeg_trace,
+    "threeg": threeg_trace,
+    "fcc": fcc_trace,
+    "wild": wild_trace,
+}
+
+
+def get_trace(name: str, seed: int = 0, **kwargs) -> NetworkTrace:
+    """Build a named trace ("tmobile", "verizon", "att", "3g", "fcc",
+    "wild", "constant:<mbps>", "step")."""
+    key = name.lower()
+    if key.startswith("constant"):
+        mbps = float(key.split(":", 1)[1]) if ":" in key else 10.5
+        return constant_trace(mbps, **kwargs)
+    if key == "step":
+        return step_trace(**kwargs)
+    try:
+        return _GENERATORS[key](seed=seed, **kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown trace {name!r}; known: "
+            f"{', '.join(sorted(_GENERATORS))}, constant:<mbps>, step"
+        ) from None
+
+
+TRACE_NAMES = sorted(set(_GENERATORS) - {"threeg"}) + ["constant:10.5", "step"]

@@ -1,0 +1,179 @@
+"""Per-session streaming metrics (the quantities the paper reports).
+
+* ``bufRatio`` — total stall time divided by the video duration (§5.1).
+* average bitrate — mean delivered bits per second of media.
+* per-segment QoE scores (SSIM by default; VMAF/PSNR derivable).
+* data skipped — payload bytes deliberately not downloaded (Fig. 7d).
+* residual loss — unreliable-stream bytes never repaired (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class SegmentRecord:
+    """Everything measured about one streamed segment."""
+
+    index: int
+    quality: int
+    target_bytes: Optional[int]
+    bytes_requested: int
+    bytes_delivered: int
+    total_bytes: int  # full size of the chosen-quality segment
+    download_time: float
+    stall_time: float
+    score: float  # model SSIM after losses/repairs
+    pristine_score: float  # score had the segment arrived complete
+    skipped_frame_count: int
+    dropped_referenced_frames: int
+    corruption_frames: int
+    lost_bytes: int  # bytes lost on the unreliable stream (pre-repair)
+    repaired_bytes: int
+    residual_loss_bytes: int
+    restarts: int  # abandon-and-restart count
+    truncated: bool  # ABR*-style keep-partial truncation happened
+    wasted_bytes: int  # discarded by restarts
+
+    @property
+    def delivered_bitrate_bps(self) -> float:
+        return self.bytes_delivered * 8.0 / 4.0  # 4 s segments
+
+    @property
+    def skipped_bytes(self) -> int:
+        return max(self.total_bytes - self.bytes_requested, 0)
+
+
+@dataclass
+class SessionMetrics:
+    """Aggregate metrics of one streaming session."""
+
+    video: str
+    abr: str
+    records: List[SegmentRecord]
+    startup_delay: float
+    total_stall: float
+    media_duration: float
+    wall_duration: float
+
+    @property
+    def buf_ratio(self) -> float:
+        """Stall time over video duration (the paper's bufRatio)."""
+        if self.media_duration <= 0:
+            return 0.0
+        return self.total_stall / self.media_duration
+
+    @property
+    def scores(self) -> np.ndarray:
+        return np.array([r.score for r in self.records])
+
+    @property
+    def mean_ssim(self) -> float:
+        return float(self.scores.mean()) if self.records else 0.0
+
+    @property
+    def median_ssim(self) -> float:
+        return float(np.median(self.scores)) if self.records else 0.0
+
+    @property
+    def avg_bitrate_kbps(self) -> float:
+        """Mean delivered segment bitrate in kbit/s."""
+        if not self.records:
+            return 0.0
+        rates = [r.delivered_bitrate_bps for r in self.records]
+        return float(np.mean(rates)) / 1e3
+
+    @property
+    def avg_nominal_bitrate_kbps(self) -> float:
+        """Mean full-size bitrate of the chosen quality levels."""
+        if not self.records:
+            return 0.0
+        rates = [r.total_bytes * 8.0 / 4.0 for r in self.records]
+        return float(np.mean(rates)) / 1e3
+
+    @property
+    def data_skipped_fraction(self) -> float:
+        """Fraction of chosen-quality bytes deliberately not fetched."""
+        total = sum(r.total_bytes for r in self.records)
+        if total == 0:
+            return 0.0
+        return sum(r.skipped_bytes for r in self.records) / total
+
+    @property
+    def residual_loss_fraction(self) -> float:
+        """Unrepaired lost bytes over requested bytes."""
+        requested = sum(r.bytes_requested for r in self.records)
+        if requested == 0:
+            return 0.0
+        return sum(r.residual_loss_bytes for r in self.records) / requested
+
+    @property
+    def quality_switches(self) -> int:
+        return sum(
+            1
+            for a, b in zip(self.records, self.records[1:])
+            if a.quality != b.quality
+        )
+
+    @property
+    def perceptible_artifact_rate(self) -> float:
+        """Fraction of segments visibly below their pristine score.
+
+        Frame drops/corruption that cost less than 0.02 SSIM are treated
+        as imperceptible (the whole premise of §3); anything bigger is a
+        visible artifact.
+        """
+        if not self.records:
+            return 0.0
+        visible = sum(
+            1
+            for r in self.records
+            if r.pristine_score - r.score > 0.02
+        )
+        return visible / len(self.records)
+
+    @property
+    def segments_with_drops(self) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.skipped_frame_count > 0 or r.corruption_frames > 0
+        )
+
+    def score_cdf(self) -> np.ndarray:
+        """Sorted per-segment scores (for CDF plots like Fig. 9)."""
+        return np.sort(self.scores)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "buf_ratio": self.buf_ratio,
+            "startup_delay": self.startup_delay,
+            "mean_ssim": self.mean_ssim,
+            "median_ssim": self.median_ssim,
+            "avg_bitrate_kbps": self.avg_bitrate_kbps,
+            "data_skipped": self.data_skipped_fraction,
+            "residual_loss": self.residual_loss_fraction,
+            "switches": float(self.quality_switches),
+        }
+
+
+def percentile_across(
+    sessions: Sequence[SessionMetrics], attribute: str, q: float
+) -> float:
+    """Percentile of a scalar metric across sessions (e.g. 90th bufRatio)."""
+    values = [getattr(session, attribute) for session in sessions]
+    if not values:
+        return 0.0
+    return float(np.percentile(values, q))
+
+
+def stderr_across(sessions: Sequence[SessionMetrics], attribute: str) -> float:
+    """Standard error of a scalar metric across sessions."""
+    values = np.array([getattr(session, attribute) for session in sessions])
+    if len(values) < 2:
+        return 0.0
+    return float(values.std(ddof=1) / np.sqrt(len(values)))

@@ -1,0 +1,565 @@
+"""The streaming session: player main loop tying all layers together.
+
+A session streams one prepared video through an ABR algorithm over a
+QUIC(*) connection across an emulated bottleneck.  It reproduces the
+paper's client behaviour:
+
+* a new segment download starts only when the playback buffer has room
+  (one in-flight segment on top of the configured buffer, §5),
+* downloads run with a live control hook so the ABR can abandon
+  (restart lower — BOLA/BETA) or truncate-and-keep (ABR*),
+* buffer-full idle periods are used for selective retransmission of
+  bytes lost on unreliable streams (§4.2), provided the buffer stays
+  healthy,
+* every delivered segment is scored by decoding it against the
+  server-side ground truth with the exact losses that occurred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.abr.base import (
+    ABRAlgorithm,
+    ControlVerb,
+    Decision,
+    DecisionContext,
+    DownloadProgress,
+    safe_throughput,
+)
+from repro.network.clock import Clock
+from repro.network.link import BottleneckLink
+from repro.network.traces import NetworkTrace
+from repro.player.buffer import PlaybackBuffer
+from repro.player.metrics import SegmentRecord, SessionMetrics
+from repro.prep.prepare import PreparedVideo
+from repro.qoe.metrics import SSIM, QoEMetric
+from repro.qoe.model import decode_segment
+from repro.transport.connection import QuicConnection
+from repro.transport.http import SegmentDelivery, VoxelHttp
+
+
+@dataclass
+class SessionConfig:
+    """Knobs of one streaming experiment configuration (§5)."""
+
+    buffer_segments: int = 3
+    partially_reliable: bool = True  # QUIC* (True) vs plain QUIC (False)
+    server_voxel_aware: bool = True
+    client_voxel_aware: bool = True
+    force_reliable_payload: bool = False  # the "VOXEL rel" ablation (§D)
+    selective_retransmission: bool = True
+    retx_buffer_threshold: float = 0.5  # min buffer fill to keep repairing
+    queue_packets: Optional[int] = 32
+    base_rtt: float = 0.060
+    metric: QoEMetric = SSIM
+    # Transport simulation backend: "round" is the fast per-RTT model
+    # used for all sweeps; "packet" is the event-driven per-packet
+    # backend (orders of magnitude slower) used to validate it.
+    transport_backend: str = "round"  # "round" | "packet"
+    # Manifest fetch at session start (§4.1).  "full" downloads the whole
+    # (large, VOXEL-enriched) manifest before playback; "incremental"
+    # models DASH's MPD-update feature — only a small window of metadata
+    # gates startup, mitigating the enriched manifest's size; "free"
+    # ignores manifest cost (the default for pure-ABR comparisons, where
+    # both systems would pay the same).
+    manifest_fetch: str = "free"  # "free" | "incremental" | "full"
+    manifest_window_segments: int = 4
+
+    def buffer_capacity_s(self, segment_duration: float) -> float:
+        return self.buffer_segments * segment_duration
+
+
+@dataclass
+class _PendingRepair:
+    record: SegmentRecord
+    delivery: SegmentDelivery
+    quality: int
+    index: int
+
+
+class StreamingSession:
+    """Streams one video once; :meth:`run` returns the session metrics."""
+
+    def __init__(
+        self,
+        prepared: PreparedVideo,
+        abr: ABRAlgorithm,
+        trace: NetworkTrace,
+        config: Optional[SessionConfig] = None,
+        cross_demand: Optional[NetworkTrace] = None,
+        link: Optional[BottleneckLink] = None,
+    ):
+        self.prepared = prepared
+        self.abr = abr
+        self.config = config if config is not None else SessionConfig()
+        self.clock = Clock()
+        if self.config.transport_backend == "packet":
+            self.link = None
+            self.connection = self._build_packet_connection(
+                trace, cross_demand
+            )
+        elif self.config.transport_backend == "round":
+            self.link = link if link is not None else BottleneckLink(
+                trace,
+                cross_demand=cross_demand,
+                queue_packets=self.config.queue_packets,
+                base_rtt=self.config.base_rtt,
+            )
+            self.connection = QuicConnection(
+                self.link,
+                self.clock,
+                partially_reliable=self.config.partially_reliable,
+            )
+        else:
+            raise ValueError(
+                f"unknown transport backend "
+                f"{self.config.transport_backend!r}"
+            )
+        self.http = VoxelHttp(
+            self.connection,
+            server_voxel_aware=self.config.server_voxel_aware,
+            client_voxel_aware=self.config.client_voxel_aware,
+        )
+        manifest = prepared.manifest
+        if not self.http.voxel_capable:
+            manifest = manifest.basic_view()
+        self.manifest = manifest
+
+        seg_dur = prepared.video.segment_duration
+        self.segment_duration = seg_dur
+        self.buffer = PlaybackBuffer(
+            capacity_s=self.config.buffer_capacity_s(seg_dur)
+        )
+        self.abr.setup(self.manifest, self.buffer.capacity_s)
+        self._throughput_samples: List[float] = []
+        self._pending_repairs: List[_PendingRepair] = []
+        self._records: List[SegmentRecord] = []
+        self._total_stall = 0.0
+        self._startup_delay = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput_estimate(self) -> float:
+        return safe_throughput(self._throughput_samples, default=0.0)
+
+    def _context(self, index: int, last_quality: Optional[int]
+                 ) -> DecisionContext:
+        entries = [
+            self.manifest.entry(q, index) for q in range(self.manifest.num_levels)
+        ]
+        # The capacity handed to the ABR is the decision-time maximum: a
+        # new download starts once the buffer is at or below capacity, so
+        # the level seen by `choose` never exceeds it (the in-flight
+        # segment briefly overshoots, but no decision happens then).
+        return DecisionContext(
+            segment_index=index,
+            buffer_level_s=self.buffer.level_s,
+            buffer_capacity_s=self.buffer.capacity_s,
+            throughput_bps=self.throughput_estimate,
+            last_quality=last_quality,
+            manifest=self.manifest,
+            entries=entries,
+            segment_duration=self.segment_duration,
+            voxel_capable=self.http.voxel_capable,
+            throughput_samples=tuple(self._throughput_samples),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SessionMetrics:
+        """Stream the whole video and return the metrics."""
+        video = self.prepared.video
+        last_quality: Optional[int] = None
+        start_clock = self.clock.now
+
+        self._before_session()
+        for index in range(video.num_segments):
+            self._before_segment(index)
+            self._wait_for_room()
+            self._opportunistic_repair()
+            decision = self._decide(index, last_quality)
+            record = self._stream_segment(index, decision)
+            self._records.append(record)
+            last_quality = record.quality
+            self.abr.on_complete(
+                index, record.quality, record.bytes_delivered,
+                record.download_time,
+            )
+            self._after_segment(index, record)
+
+        # Drain the remaining buffer (playback finishes).
+        self.buffer.drain(self.buffer.level_s)
+        return SessionMetrics(
+            video=video.name,
+            abr=self.abr.name,
+            records=self._records,
+            startup_delay=self._startup_delay,
+            total_stall=self._total_stall,
+            media_duration=video.duration,
+            wall_duration=self.clock.now - start_clock,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_packet_connection(self, trace, cross_demand):
+        """Construct the event-driven per-packet transport backend."""
+        from repro.network.crosstraffic import cross_traffic_available
+        from repro.network.events import EventScheduler
+        from repro.network.packetlink import PacketRouter
+        from repro.transport.packet_connection import PacketLevelConnection
+
+        effective = trace
+        if cross_demand is not None:
+            effective = cross_traffic_available(
+                trace.mean_mbps(), cross_demand
+            )
+        scheduler = EventScheduler(self.clock.now)
+        queue = self.config.queue_packets
+        router = PacketRouter(
+            scheduler,
+            effective,
+            queue_packets=queue if queue is not None else 32,
+            propagation_s=self.config.base_rtt / 2.0,
+        )
+        return PacketLevelConnection(
+            router,
+            scheduler,
+            clock=self.clock,
+            partially_reliable=self.config.partially_reliable,
+        )
+
+    # ------------------------------------------------------------------
+    def _before_session(self) -> None:
+        """Fetch the manifest per the configured strategy (§4.1).
+
+        The enriched manifest is large (the paper quotes ~16 % of an
+        average top-quality segment); downloading it in full delays
+        startup, while DASH's MPD-update feature amortizes it.
+        """
+        mode = self.config.manifest_fetch
+        if mode == "free":
+            return
+        total = self.manifest.metadata_bytes()
+        if mode == "incremental":
+            window = min(
+                max(self.config.manifest_window_segments, 1),
+                self.manifest.num_segments,
+            )
+            total = int(total * window / self.manifest.num_segments)
+        elif mode != "full":
+            raise ValueError(f"unknown manifest_fetch mode {mode!r}")
+        result = self.connection.download(total, reliable=True)
+        self._startup_delay += result.elapsed
+
+    def _before_segment(self, index: int) -> None:
+        """Hook before each segment's decision (subclass extension)."""
+
+    def _after_segment(self, index: int, record: SegmentRecord) -> None:
+        """Hook after each segment completes (subclass extension)."""
+
+    # ------------------------------------------------------------------
+    def _wait_for_room(self) -> None:
+        """Idle until the buffer can take one more in-flight segment."""
+        overhang = self.buffer.level_s - self.buffer.capacity_s
+        if overhang <= 1e-9:
+            return
+        self._idle(overhang)
+
+    def _opportunistic_repair(self) -> None:
+        """Repair losses whenever the buffer is comfortably full (§4.2).
+
+        The paper's client re-requests lost data "when the playback
+        buffer is full"; at BOLA's equilibrium the player hovers right at
+        capacity, so we treat any healthy margin above the retransmission
+        threshold as repair time — spending it never risks a stall
+        because we cap the repair window by the spare buffer.
+        """
+        if not (
+            self.config.selective_retransmission
+            and self.http.voxel_capable
+            and not self.config.force_reliable_payload
+            and self._pending_repairs
+        ):
+            return
+        margin = self.buffer.level_s - (
+            self.config.retx_buffer_threshold * self.buffer.capacity_s
+        )
+        if margin <= 0.25:
+            return
+        t0 = self.clock.now
+        self._repair_losses(deadline=t0 + margin)
+        elapsed = self.clock.now - t0
+        if elapsed > 0:
+            self._total_stall += self.buffer.drain(elapsed)
+
+    def _idle(self, duration: float) -> None:
+        """Pass ``duration`` seconds of playback, repairing losses."""
+        t0 = self.clock.now
+        deadline = t0 + duration
+        if (
+            self.config.selective_retransmission
+            and self.http.voxel_capable
+            and not self.config.force_reliable_payload
+        ):
+            self._repair_losses(deadline)
+        remaining = deadline - self.clock.now
+        if remaining > 0:
+            self.connection.idle(remaining)
+        elapsed = self.clock.now - t0
+        self._total_stall += self.buffer.drain(elapsed)
+
+    def _repair_losses(self, deadline: float) -> None:
+        """Selective retransmission of lost bytes during idle time."""
+        playhead = self.buffer.media_time()
+        t0 = self.clock.now
+        for pending in list(self._pending_repairs):
+            if self.clock.now >= deadline:
+                break
+            effective_buffer = self.buffer.level_s - (self.clock.now - t0)
+            if effective_buffer <= (
+                self.config.retx_buffer_threshold * self.buffer.capacity_s
+            ):
+                # Conditions unfavorable: stop repairing (§4.2).
+                break
+            media_start = pending.index * self.segment_duration
+            if media_start <= playhead + 0.5:
+                # Too late: (nearly) playing already.
+                self._pending_repairs.remove(pending)
+                continue
+            time_left = deadline - self.clock.now
+            budget = int(
+                max(self.throughput_estimate, 1e5) * time_left / 8.0
+            )
+            repaired = self.http.refetch_lost(pending.delivery, budget)
+            if repaired > 0:
+                pending.record.repaired_bytes += repaired
+                pending.record.residual_loss_bytes = (
+                    pending.delivery.residual_loss_bytes()
+                )
+                pending.record.score = self._score_delivery(
+                    pending.quality, pending.index, pending.delivery
+                )
+            if not pending.delivery.lost_intervals:
+                self._pending_repairs.remove(pending)
+
+    # ------------------------------------------------------------------
+    def _decide(self, index: int, last_quality: Optional[int]) -> Decision:
+        while True:
+            ctx = self._context(index, last_quality)
+            decision = self.abr.choose(ctx)
+            if decision.wait_s <= 0:
+                return decision
+            self._idle(decision.wait_s)
+
+    # ------------------------------------------------------------------
+    def _stream_segment(self, index: int, decision: Decision) -> SegmentRecord:
+        buffer_at_start = self.buffer.level_s
+        t_start = self.clock.now
+        restarts = 0
+        wasted = 0
+        truncated = False
+
+        while True:
+            entry = self.manifest.entry(decision.quality, index)
+            restart_to: List[int] = []
+
+            total_wire = self._request_total(entry, decision)
+            progress = self._make_progress(
+                index, decision.quality, t_start, buffer_at_start,
+                total_wire, restart_to,
+            )
+
+            delivery = self._fetch(entry, decision, progress)
+            if restart_to:
+                wasted += delivery.bytes_delivered
+                restarts += 1
+                decision = Decision(
+                    quality=restart_to[0],
+                    unreliable=decision.unreliable,
+                )
+                continue
+            truncated = delivery.bytes_requested < total_wire
+            break
+
+        elapsed = self.clock.now - t_start
+        if index == 0 and not self._records:
+            # Adds to any manifest-fetch delay accounted in
+            # _before_session.
+            self._startup_delay += elapsed
+            stall = 0.0
+            self.buffer.drain(min(self.buffer.level_s, elapsed))
+        else:
+            stall = self.buffer.drain(elapsed)
+            self._total_stall += stall
+
+        if elapsed > 0:
+            # Exclude request round trips: the sample should reflect the
+            # path's transfer rate, not per-request latency overheads.
+            transfer_time = max(elapsed - delivery.request_latency, 1e-3)
+            sample = delivery.bytes_delivered * 8.0 / transfer_time
+            if delivery.bytes_delivered > 50_000:
+                self._throughput_samples.append(sample)
+
+        self.buffer.push_segment(self.segment_duration)
+
+        score = self._score_delivery(decision.quality, index, delivery)
+        segment = self.prepared.video.segment(decision.quality, index)
+        referenced = set(segment.frames.referenced_indices())
+        dropped_ref = sum(
+            1 for f in delivery.dropped_frames if f in referenced
+        )
+        record = SegmentRecord(
+            index=index,
+            quality=decision.quality,
+            target_bytes=decision.target_bytes,
+            bytes_requested=delivery.bytes_requested,
+            bytes_delivered=delivery.bytes_delivered,
+            total_bytes=entry.total_bytes,
+            download_time=elapsed,
+            stall_time=stall,
+            score=score,
+            pristine_score=entry.pristine_score,
+            skipped_frame_count=len(delivery.skipped_frames),
+            dropped_referenced_frames=dropped_ref,
+            corruption_frames=len(delivery.corruption),
+            lost_bytes=sum(
+                end - start for start, end in delivery.lost_intervals
+            ),
+            repaired_bytes=0,
+            residual_loss_bytes=delivery.residual_loss_bytes(),
+            restarts=restarts,
+            truncated=truncated,
+            wasted_bytes=wasted,
+        )
+        if delivery.lost_intervals and self.http.voxel_capable:
+            self._pending_repairs.append(
+                _PendingRepair(
+                    record=record,
+                    delivery=delivery,
+                    quality=decision.quality,
+                    index=index,
+                )
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    def _request_total(self, entry, decision: Decision) -> int:
+        """Total wire bytes the request will ask for."""
+        if decision.skip_frames is not None:
+            segment = self.prepared.video.segment(decision.quality, entry.index)
+            skipped_payload = sum(
+                segment.frames[idx].payload_bytes
+                for idx in decision.skip_frames
+            )
+            return entry.total_bytes - skipped_payload
+        if not self.http.voxel_capable:
+            return entry.total_bytes
+        if decision.target_bytes is None:
+            return entry.total_bytes
+        return min(max(decision.target_bytes, entry.reliable_size),
+                   entry.total_bytes)
+
+    def _make_progress(
+        self,
+        index: int,
+        quality: int,
+        t_start: float,
+        buffer_at_start: float,
+        total_wire: int,
+        restart_to: List[int],
+    ):
+        """Build the transport progress callback bridging to ABR control."""
+        session = self
+
+        def progress(request_elapsed: float, request_sent: int) -> Optional[int]:
+            elapsed_total = session.clock.now - t_start
+            buffer_now = max(buffer_at_start - elapsed_total, 0.0)
+            # Blend the historical estimate with the rate this very
+            # request is achieving: mid-download decisions must react to
+            # the network as it is *now*, not as it was last segment.
+            throughput = session.throughput_estimate
+            if request_elapsed > 0.5 and request_sent > 0:
+                # After the slow-start ramp the request's own rate is the
+                # best signal; before that it systematically undershoots.
+                instantaneous = request_sent * 8.0 / request_elapsed
+                throughput = (
+                    instantaneous if throughput <= 0
+                    else 0.7 * instantaneous + 0.3 * throughput
+                )
+            state = DownloadProgress(
+                segment_index=index,
+                quality=quality,
+                elapsed=elapsed_total,
+                bytes_sent=request_sent,
+                bytes_total=total_wire,
+                buffer_level_s=buffer_now,
+                throughput_bps=throughput,
+            )
+            action = session.abr.control(state)
+            if action.verb is ControlVerb.CONTINUE:
+                return None
+            if action.verb is ControlVerb.RESTART:
+                restart_to.append(action.restart_quality or 0)
+                return request_sent  # stop sending as soon as possible
+            # TRUNCATE: convert from total-wire space to request space if
+            # needed; connection clamps to >= bytes already sent.
+            limit = action.truncate_to_bytes
+            if limit is None:
+                return request_sent
+            return max(limit, request_sent)
+
+        return progress
+
+    def _fetch(self, entry, decision: Decision, progress) -> SegmentDelivery:
+        if decision.skip_frames is not None and self.connection.partially_reliable:
+            return self._fetch_skip_frames(entry, decision, progress)
+        target = decision.target_bytes
+        force_reliable = (
+            self.config.force_reliable_payload or not decision.unreliable
+        )
+        return self.http.fetch_segment(
+            entry,
+            target_bytes=target,
+            progress=progress,
+            force_reliable=force_reliable,
+        )
+
+    def _fetch_skip_frames(
+        self, entry, decision: Decision, progress
+    ) -> SegmentDelivery:
+        """BETA-style request: the segment minus specific frames, reliable."""
+        segment = self.prepared.video.segment(decision.quality, entry.index)
+        skip = tuple(decision.skip_frames or ())
+        skipped_payload = sum(
+            segment.frames[idx].payload_bytes for idx in skip
+        )
+        nbytes = entry.total_bytes - skipped_payload
+        result = self.connection.download(
+            nbytes, reliable=True, progress=progress
+        )
+        return SegmentDelivery(
+            entry=entry,
+            bytes_requested=result.requested,
+            bytes_delivered=result.delivered,
+            skipped_frames=sorted(skip),
+            corruption={},
+            elapsed=result.elapsed,
+            unreliable=False,
+            lost_intervals=[],
+            request_latency=result.request_latency,
+        )
+
+    # ------------------------------------------------------------------
+    def _score_delivery(
+        self, quality: int, index: int, delivery: SegmentDelivery
+    ) -> float:
+        segment = self.prepared.video.segment(quality, index)
+        dropped = [f for f in delivery.dropped_frames if f != 0]
+        corruption = delivery.partial_frames
+        result = decode_segment(
+            segment,
+            params=self.prepared.params,
+            dropped=dropped,
+            corruption=corruption,
+        )
+        return result.score

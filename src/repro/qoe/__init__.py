@@ -1,0 +1,24 @@
+"""QoE substrate: analytic SSIM/VMAF/PSNR with loss propagation."""
+
+from repro.qoe.metrics import METRICS, PSNR, SSIM, VMAF, QoEMetric, get_metric
+from repro.qoe.model import (
+    DEFAULT_PARAMS,
+    DecodeResult,
+    QoEParams,
+    decode_segment,
+    pristine_score,
+)
+
+__all__ = [
+    "METRICS",
+    "PSNR",
+    "SSIM",
+    "VMAF",
+    "QoEMetric",
+    "get_metric",
+    "DEFAULT_PARAMS",
+    "DecodeResult",
+    "QoEParams",
+    "decode_segment",
+    "pristine_score",
+]

@@ -1,0 +1,81 @@
+"""QoE metric front-ends: SSIM, VMAF, PSNR.
+
+The decode simulation (:mod:`repro.qoe.model`) produces an SSIM-like score
+in [0, 1].  VMAF and PSNR are exposed as monotone reparameterizations of
+that score, mirroring the paper's observation that VOXEL's machinery is
+QoE-metric agnostic: the manifest's quality map, ABR* utility, and all
+reported statistics can be computed in any of the three scales.
+
+The mappings are calibrated to familiar operating points: SSIM 0.99 ~
+VMAF ~93 / PSNR ~42 dB ("excellent"), SSIM 0.95 ~ VMAF ~80 ("good"),
+SSIM 0.90 ~ VMAF ~65.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+
+@dataclass(frozen=True)
+class QoEMetric:
+    """A QoE metric expressed as a transform of the model's SSIM score.
+
+    Attributes:
+        name: metric identifier ("ssim", "vmaf", "psnr").
+        lo: value of the metric at SSIM 0 (worst).
+        hi: value at SSIM 1 (best / pristine).
+    """
+
+    name: str
+    lo: float
+    hi: float
+    _from_ssim: Callable[[float], float]
+
+    def from_ssim(self, ssim: float) -> float:
+        """Convert a model SSIM score into this metric's scale."""
+        return self._from_ssim(min(max(ssim, 0.0), 1.0))
+
+    def normalize(self, value: float) -> float:
+        """Map a metric value into [0, 1] (1 = pristine)."""
+        if self.hi == self.lo:
+            return 1.0
+        return min(max((value - self.lo) / (self.hi - self.lo), 0.0), 1.0)
+
+    def excellent_threshold(self) -> float:
+        """The metric value corresponding to SSIM 0.99 (imperceptible)."""
+        return self.from_ssim(0.99)
+
+
+def _vmaf_from_ssim(ssim: float) -> float:
+    # Smooth monotone map: pristine -> 100, heavily damaged -> 0.
+    # Exponent chosen so SSIM 0.99 ~ 93 and SSIM 0.95 ~ 80.
+    return 100.0 * max(0.0, 1.0 - (1.0 - ssim) ** 0.78 * 2.5)
+
+
+def _psnr_from_ssim(ssim: float) -> float:
+    # Treat (1 - ssim) as a proxy MSE fraction of the dynamic range,
+    # scaled so SSIM 0.99 maps to ~42 dB and SSIM 0.5 to ~25 dB.
+    mse = max(1.0 - ssim, 1e-6) * 0.006
+    return 10.0 * math.log10(1.0 / mse)
+
+
+SSIM = QoEMetric("ssim", lo=0.0, hi=1.0, _from_ssim=lambda s: s)
+VMAF = QoEMetric("vmaf", lo=0.0, hi=100.0, _from_ssim=_vmaf_from_ssim)
+PSNR = QoEMetric(
+    "psnr", lo=_psnr_from_ssim(0.0), hi=_psnr_from_ssim(1.0),
+    _from_ssim=_psnr_from_ssim,
+)
+
+METRICS: Dict[str, QoEMetric] = {m.name: m for m in (SSIM, VMAF, PSNR)}
+
+
+def get_metric(name: str) -> QoEMetric:
+    """Look up a metric by name (case-insensitive)."""
+    try:
+        return METRICS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown QoE metric {name!r}; known: {', '.join(sorted(METRICS))}"
+        ) from None

@@ -1,0 +1,38 @@
+"""QUIC* transport: CUBIC congestion control, partially reliable streams,
+and the HTTP interface between the transport and application layers."""
+
+from repro.transport.connection import (
+    ByteInterval,
+    DownloadResult,
+    IDLE_TIMEOUT,
+    ProgressFn,
+    QuicConnection,
+)
+from repro.transport.cubic import (
+    CUBIC_BETA,
+    CUBIC_C,
+    INITIAL_WINDOW,
+    CubicController,
+    CubicState,
+)
+from repro.transport.http import (
+    UNRELIABLE_HEADER,
+    SegmentDelivery,
+    VoxelHttp,
+)
+
+__all__ = [
+    "ByteInterval",
+    "DownloadResult",
+    "IDLE_TIMEOUT",
+    "ProgressFn",
+    "QuicConnection",
+    "CUBIC_BETA",
+    "CUBIC_C",
+    "INITIAL_WINDOW",
+    "CubicController",
+    "CubicState",
+    "UNRELIABLE_HEADER",
+    "SegmentDelivery",
+    "VoxelHttp",
+]

@@ -1,0 +1,265 @@
+"""QUIC* connection: reliable and unreliable streams over one CC context.
+
+A :class:`QuicConnection` multiplexes downloads over a single congestion-
+controlled context (CUBIC) across the emulated bottleneck link.  Two
+stream flavours exist:
+
+* **reliable** — lost packets are retransmitted until everything arrives
+  (this is plain QUIC; also how QUIC* carries I-frames and headers),
+* **unreliable** — lost packets are *not* retransmitted; the byte ranges
+  that never arrived are reported to the application, which may later
+  re-request them selectively (§4.2) via ordinary range requests.
+
+Downloads run round-by-round: each round offers ``cwnd`` packets to the
+link, learns what was tail-dropped, updates CUBIC, and advances the
+shared simulation clock by the experienced RTT.  An application-supplied
+progress callback may truncate the request mid-flight — the hook ABR*
+uses for mid-segment adjustments and smart abandonment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.network.clock import Clock
+from repro.network.link import BottleneckLink
+from repro.transport.cubic import CubicController
+
+ByteInterval = Tuple[int, int]  # (start, end), end exclusive
+
+# Idle gap after which QUIC collapses the congestion window.
+IDLE_TIMEOUT = 1.0  # seconds
+# One round trip of request latency per HTTP request.
+REQUEST_RTT_COST = 1.0
+# Per-packet header overhead (QUIC + UDP + IP over a 1500-byte MTU): only
+# this fraction of every packet carries application payload.
+PAYLOAD_FRACTION = 0.94
+
+
+@dataclass
+class DownloadResult:
+    """Outcome of one stream download.
+
+    Attributes:
+        requested: bytes the request asked for (after any truncation).
+        delivered: bytes that actually arrived.
+        lost: byte intervals (offsets within the request) lost in transit
+            on an unreliable stream.  Always empty for reliable streams.
+        elapsed: wall-clock seconds the download took.
+        truncated_at: if the progress callback cut the request short, the
+            byte offset where it stopped; ``None`` otherwise.
+        rounds: number of congestion rounds used.
+    """
+
+    requested: int
+    delivered: int
+    lost: List[ByteInterval]
+    elapsed: float
+    truncated_at: Optional[int] = None
+    rounds: int = 0
+    request_latency: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.truncated_at is None and not self.lost
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.requested == 0:
+            return 0.0
+        lost = sum(end - start for start, end in self.lost)
+        return lost / self.requested
+
+
+# Progress callback: (elapsed_seconds, bytes_sent_so_far) -> new byte limit
+# for the request, or None to continue unchanged.
+ProgressFn = Callable[[float, int], Optional[int]]
+
+
+class QuicConnection:
+    """A congestion-controlled connection over a bottleneck link.
+
+    Args:
+        link: the emulated bottleneck.
+        clock: shared simulation clock (advanced during downloads).
+        partially_reliable: whether unreliable streams are available
+            (QUIC* = True; plain QUIC = False, every download is
+            reliable regardless of what the caller asks).
+    """
+
+    def __init__(
+        self,
+        link: BottleneckLink,
+        clock: Optional[Clock] = None,
+        partially_reliable: bool = True,
+    ):
+        self.link = link
+        self.clock = clock if clock is not None else Clock()
+        self.partially_reliable = partially_reliable
+        self.cc = CubicController()
+        self._last_active: Optional[float] = None
+        # Lifetime counters for experiment accounting.
+        self.total_delivered = 0
+        self.total_lost = 0
+        self.total_retransmitted = 0
+
+    # ------------------------------------------------------------------
+    def download(
+        self,
+        nbytes: int,
+        reliable: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ) -> DownloadResult:
+        """Fetch ``nbytes`` over one stream.
+
+        On an unreliable stream the request's byte space ``[0, nbytes)``
+        is sent exactly once in order; tail-dropped packets become lost
+        intervals.  On a reliable stream losses are retransmitted (the
+        retransmission consumes window like new data, so loss still slows
+        the transfer).
+
+        The progress callback runs after every round with the elapsed
+        time and bytes sent so far; returning an integer truncates the
+        request to that many bytes (never below what was already sent).
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot download {nbytes} bytes")
+        if not self.partially_reliable:
+            reliable = True
+        if nbytes == 0:
+            return DownloadResult(0, 0, [], 0.0)
+
+        self._maybe_idle_restart()
+
+        # Application bytes carried per packet (headers cost the rest).
+        payload = max(int(self.link.mtu * PAYLOAD_FRACTION), 1)
+        start_time = self.clock.now
+        # Request latency: one RTT for the HTTP request to reach the
+        # server and the first byte to come back.
+        first_rtt = self.link.current_rtt(self.clock.now)
+        latency = first_rtt * REQUEST_RTT_COST
+        self.clock.advance(latency)
+
+        limit = nbytes
+        sent_new = 0  # first-transmission bytes sent so far (in order)
+        delivered = 0
+        lost_intervals: List[ByteInterval] = []
+        retx_queue = 0  # reliable-mode bytes awaiting retransmission
+        rounds = 0
+
+        while sent_new < limit or retx_queue > 0:
+            cwnd_packets = max(int(self.cc.cwnd), 1)
+            new_budget = limit - sent_new
+            retx_packets = min(
+                (retx_queue + payload - 1) // payload, cwnd_packets
+            )
+            new_packets = min(
+                (new_budget + payload - 1) // payload,
+                cwnd_packets - retx_packets,
+            )
+            burst = retx_packets + new_packets
+            if burst == 0:
+                burst = 1
+                new_packets = 1 if new_budget > 0 else 0
+                retx_packets = burst - new_packets
+
+            outcome = self.link.offer_round(self.clock.now, burst)
+            rounds += 1
+            self.clock.advance(outcome.rtt)
+
+            # Retransmissions ride at the front of the burst (they are
+            # oldest data); tail drops therefore hit new data first.
+            dropped = outcome.dropped_packets
+            new_dropped = min(dropped, new_packets)
+            retx_dropped = dropped - new_dropped
+
+            # New-data accounting: the round sent bytes
+            # [sent_new, sent_new + sent_bytes); the last new_dropped
+            # packets of that range were tail-dropped.
+            sent_bytes = min(new_packets * payload, new_budget)
+            ok_bytes = max(sent_bytes - new_dropped * payload, 0)
+            if reliable:
+                delivered += ok_bytes
+                retx_queue += sent_bytes - ok_bytes
+            else:
+                delivered += ok_bytes
+                if sent_bytes - ok_bytes > 0:
+                    lost_intervals.append(
+                        (sent_new + ok_bytes, sent_new + sent_bytes)
+                    )
+            sent_new += sent_bytes
+
+            # Retransmission accounting (reliable only).
+            if retx_packets:
+                retx_sent = min(retx_packets * payload, retx_queue)
+                retx_ok = max(retx_sent - retx_dropped * payload, 0)
+                delivered += retx_ok
+                retx_queue -= retx_ok
+                self.total_retransmitted += retx_ok
+
+            queue_limit = self.link.queue_packets * self.link.mtu
+            pressure = (
+                self.link.queue_bytes / queue_limit if queue_limit else 0.0
+            )
+            # Application-limited rounds (burst below the window) must
+            # not grow the window: the round proves nothing about the
+            # path, and unchecked doubling across request tails leads to
+            # a catastrophic burst on the next full window.
+            window_limited = burst >= cwnd_packets
+            if window_limited or dropped > 0:
+                self.cc.on_round(
+                    rtt=outcome.rtt, lost=dropped > 0,
+                    queue_pressure=pressure,
+                )
+
+            if progress is not None:
+                new_limit = progress(self.clock.now - start_time, sent_new)
+                if new_limit is not None:
+                    limit = max(min(new_limit, limit), sent_new)
+
+        self._last_active = self.clock.now
+        lost_intervals = _merge_intervals(lost_intervals)
+        self.total_delivered += delivered
+        self.total_lost += sum(end - start for start, end in lost_intervals)
+        truncated = limit if limit < nbytes else None
+        return DownloadResult(
+            requested=limit,
+            delivered=delivered,
+            lost=lost_intervals,
+            elapsed=self.clock.now - start_time,
+            truncated_at=truncated,
+            rounds=rounds,
+            request_latency=latency,
+        )
+
+    def idle(self, dt: float) -> None:
+        """Account an application idle period (player buffer full)."""
+        if dt <= 0:
+            return
+        self.link.drain(self.clock.now, dt)
+        self.clock.advance(dt)
+
+    # ------------------------------------------------------------------
+    def _maybe_idle_restart(self) -> None:
+        if (
+            self._last_active is not None
+            and self.clock.now - self._last_active > IDLE_TIMEOUT
+        ):
+            self.cc.after_idle()
+            self.link.drain(self._last_active, self.clock.now - self._last_active)
+
+
+def _merge_intervals(intervals: List[ByteInterval]) -> List[ByteInterval]:
+    """Merge overlapping/adjacent byte intervals (kept sorted)."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged

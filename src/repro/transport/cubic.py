@@ -1,0 +1,136 @@
+"""CUBIC congestion control (RFC 8312), round-granularity.
+
+QUIC* keeps unreliable streams subject to the connection's congestion
+control — that is the crucial difference to raw UDP (§4.2).  Both QUIC
+and QUIC* in the paper use CUBIC, so a single implementation serves both.
+
+The controller operates per round (one RTT): the connection reports
+whether the round suffered loss, and the controller yields the next
+congestion window.  Slow start doubles per round until ``ssthresh``;
+afterwards the cubic function ``W(t) = C (t - K)^3 + W_max`` governs
+growth, with the window-reduction factor beta = 0.7 on loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CUBIC_C = 0.4
+CUBIC_BETA = 0.7
+INITIAL_WINDOW = 10  # packets, like QUIC's default
+MIN_WINDOW = 2
+
+
+@dataclass
+class CubicState:
+    """Snapshot of the controller, useful for tests and logging."""
+
+    cwnd: float
+    ssthresh: float
+    w_max: float
+    epoch_elapsed: float
+
+
+class CubicController:
+    """Round-based CUBIC.
+
+    Usage::
+
+        cc = CubicController()
+        cwnd = cc.cwnd  # packets to offer this round
+        cc.on_round(rtt=0.06, lost=False)
+    """
+
+    def __init__(self, initial_window: int = INITIAL_WINDOW):
+        self.cwnd = float(initial_window)
+        self.ssthresh = float("inf")
+        self.w_max = 0.0
+        self._epoch_elapsed = 0.0
+        self._k = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def state(self) -> CubicState:
+        return CubicState(
+            cwnd=self.cwnd,
+            ssthresh=self.ssthresh,
+            w_max=self.w_max,
+            epoch_elapsed=self._epoch_elapsed,
+        )
+
+    def on_round(self, rtt: float, lost: bool,
+                 queue_pressure: float = 0.0) -> float:
+        """Advance one round and return the new congestion window.
+
+        ``queue_pressure`` is the bottleneck-queue fill fraction observed
+        this round; a HyStart-like check exits slow start when the queue
+        builds up, before the overshoot turns into a burst of losses —
+        important for QUIC* since slow-start losses on unreliable streams
+        are never retransmitted.
+        """
+        if rtt <= 0:
+            raise ValueError(f"rtt must be positive, got {rtt}")
+        if lost:
+            self._on_loss()
+            return self.cwnd
+
+        if self.in_slow_start:
+            if queue_pressure > 0.4:
+                # HyStart: the pipe is full; settle here.
+                self.ssthresh = self.cwnd
+                self._reset_epoch(from_window=self.cwnd)
+                return self.cwnd
+            # Pacing-aware ramp: double while the queue is quiet, but
+            # grow gently once it starts building — an unpaced doubling
+            # from just-under-threshold overshoots the pipe by 2x in one
+            # round and dumps a burst of losses (fatal for unreliable
+            # streams, which never retransmit).
+            factor = 2.0 if queue_pressure < 0.15 else 1.25
+            self.cwnd = min(self.cwnd * factor, self.ssthresh + self.cwnd)
+            # Leaving slow start resets the cubic epoch.
+            if not self.in_slow_start:
+                self._reset_epoch(from_window=self.cwnd)
+            return self.cwnd
+
+        self._epoch_elapsed += rtt
+        t = self._epoch_elapsed
+        target = CUBIC_C * (t - self._k) ** 3 + self.w_max
+        # Never grow more than one packet per ACKed packet per round
+        # (standard cubic "max probing" clamp).
+        self.cwnd = max(MIN_WINDOW, min(target, self.cwnd * 1.5))
+        return self.cwnd
+
+    def _on_loss(self) -> None:
+        self.w_max = self.cwnd
+        self.cwnd = max(MIN_WINDOW, self.cwnd * CUBIC_BETA)
+        self.ssthresh = self.cwnd
+        self._reset_epoch(from_window=self.cwnd)
+
+    def _reset_epoch(self, from_window: float) -> None:
+        self._epoch_elapsed = 0.0
+        if self.w_max > from_window:
+            self._k = (self.w_max * (1 - CUBIC_BETA) / CUBIC_C) ** (1.0 / 3.0)
+        else:
+            # Convex region (e.g. after a HyStart exit with no loss yet):
+            # the cubic must plateau at the *current* window, not at a
+            # stale smaller W_max — otherwise the next target collapses
+            # the window to its floor.
+            self.w_max = from_window
+            self._k = 0.0
+
+    def after_idle(self) -> None:
+        """Collapse the window after an idle period.
+
+        QUIC restarts from a reduced window when the connection has been
+        quiescent (the congestion state is stale).  The video player
+        idles whenever its playback buffer is full, so this matters.
+        """
+        if self.ssthresh == float("inf"):
+            self.ssthresh = self.cwnd
+        else:
+            self.ssthresh = max(self.ssthresh, self.cwnd)
+        self.cwnd = max(float(MIN_WINDOW), min(self.cwnd, float(INITIAL_WINDOW)))
+        self._reset_epoch(from_window=self.cwnd)

@@ -1,0 +1,76 @@
+"""Synthetic H.264-like video substrate.
+
+Models frames, GOP/reference structure, content profiles, the Tab. 2
+bitrate ladder, and a capped-VBR transcoder producing the full study
+catalog (Tab. 1 canonical videos + Tab. 3 YouTube videos).
+"""
+
+from repro.video.content import (
+    ALL_VIDEOS,
+    CANONICAL_VIDEOS,
+    YOUTUBE_VIDEOS,
+    ContentModel,
+    ContentProfile,
+    SegmentContent,
+    get_profile,
+)
+from repro.video.encoder import EncodedSegment, EncodedVideo, encode_video
+from repro.video.frames import (
+    FRAME_HEADER_BYTES,
+    Frame,
+    FrameType,
+    SegmentFrames,
+    validate_reference_graph,
+)
+from repro.video.gop import build_segment_frames
+from repro.video.ladder import (
+    FRAMES_PER_SECOND,
+    FRAMES_PER_SEGMENT,
+    NUM_LEVELS,
+    QualityLevel,
+    SEGMENT_DURATION,
+    SEGMENTS_PER_VIDEO,
+    TOP_QUALITY,
+    VBR_PEAK_CAP,
+    default_ladder,
+)
+from repro.video.library import (
+    all_videos,
+    canonical_videos,
+    clear_cache,
+    get_video,
+    youtube_videos,
+)
+
+__all__ = [
+    "ALL_VIDEOS",
+    "CANONICAL_VIDEOS",
+    "YOUTUBE_VIDEOS",
+    "ContentModel",
+    "ContentProfile",
+    "SegmentContent",
+    "get_profile",
+    "EncodedSegment",
+    "EncodedVideo",
+    "encode_video",
+    "FRAME_HEADER_BYTES",
+    "Frame",
+    "FrameType",
+    "SegmentFrames",
+    "validate_reference_graph",
+    "build_segment_frames",
+    "FRAMES_PER_SECOND",
+    "FRAMES_PER_SEGMENT",
+    "NUM_LEVELS",
+    "QualityLevel",
+    "SEGMENT_DURATION",
+    "SEGMENTS_PER_VIDEO",
+    "TOP_QUALITY",
+    "VBR_PEAK_CAP",
+    "default_ladder",
+    "all_videos",
+    "canonical_videos",
+    "clear_cache",
+    "get_video",
+    "youtube_videos",
+]

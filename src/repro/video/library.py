@@ -1,0 +1,50 @@
+"""Video library — a lazily encoded, cached catalog of all study videos.
+
+Encoding a video realizes 75 segments x 13 levels x 96 frames of structure,
+which is cheap but not free; experiments reuse videos heavily, so the
+library memoizes encodes process-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.video.content import (
+    ALL_VIDEOS,
+    CANONICAL_VIDEOS,
+    YOUTUBE_VIDEOS,
+    ContentProfile,
+    get_profile,
+)
+from repro.video.encoder import EncodedVideo, encode_video
+
+_CACHE: Dict[str, EncodedVideo] = {}
+
+
+def get_video(name: str) -> EncodedVideo:
+    """Return the encoded video for a catalog name, caching the result."""
+    profile = get_profile(name)
+    cached = _CACHE.get(profile.name)
+    if cached is None:
+        cached = encode_video(profile)
+        _CACHE[profile.name] = cached
+    return cached
+
+
+def canonical_videos() -> List[EncodedVideo]:
+    """The four Tab. 1 videos: BBB, ED, Sintel, ToS."""
+    return [get_video(name) for name in CANONICAL_VIDEOS]
+
+
+def youtube_videos() -> List[EncodedVideo]:
+    """The ten Tab. 3 YouTube videos P1..P10."""
+    return [get_video(name) for name in YOUTUBE_VIDEOS]
+
+
+def all_videos() -> List[EncodedVideo]:
+    return [get_video(name) for name in ALL_VIDEOS]
+
+
+def clear_cache() -> None:
+    """Drop all cached encodes (mostly useful in tests)."""
+    _CACHE.clear()

@@ -1,0 +1,155 @@
+"""Tests for the command-line interface and the report renderer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import _FIGURES, build_parser, main
+from repro.experiments.report import (
+    ascii_cdf,
+    format_table,
+    render,
+    summarize_cdf,
+)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream", "bbb"])
+        assert args.abr == "abr_star"
+        assert args.trace == "verizon"
+        assert args.buffer == 2
+        assert not args.plain_quic
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "fig6", "--light"])
+        assert args.name == "fig6"
+        assert args.light
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bbb" in out and "abr_star" in out and "tmobile" in out
+
+    def test_list_json(self, capsys):
+        assert main(["--json", "list"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "videos" in data and "p10" in data["videos"]
+
+    def test_stream(self, capsys):
+        code = main([
+            "stream", "bbb", "--trace", "constant:10.5", "--buffer", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bufRatio" in out and "mean SSIM" in out
+
+    def test_stream_json(self, capsys):
+        code = main([
+            "--json", "stream", "bbb", "--trace", "constant:10.5",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "buf_ratio" in data and "mean_ssim" in data
+
+    def test_stream_plain_quic_and_safety(self, capsys):
+        code = main([
+            "stream", "bbb", "--trace", "constant:10.5", "--plain-quic",
+        ])
+        assert code == 0
+        code = main([
+            "stream", "bbb", "--trace", "constant:10.5",
+            "--bandwidth-safety", "0.9",
+        ])
+        assert code == 0
+
+    def test_prepare(self, capsys):
+        assert main(["prepare", "bbb"]) == 0
+        out = capsys.readouterr().out
+        assert "13 levels" in out
+        assert "virtual levels" in out
+
+    def test_compare(self, capsys):
+        code = main([
+            "compare", "bbb", "--trace", "constant:8", "--reps", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BOLA/QUIC" in out and "VOXEL" in out
+
+    def test_figure_light(self, capsys):
+        assert main(["figure", "fig15", "--light"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "nope"]) == 2
+
+    def test_survey(self, capsys):
+        code = main(["survey", "--clips", "3", "--participants", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prefer VOXEL" in out
+
+    def test_figure_registry_names_resolve(self):
+        from repro.experiments import figures as figures_module
+        from repro.experiments.figures import __dict__ as names
+
+        for key, (func_name, kwargs) in _FIGURES.items():
+            assert hasattr(figures_module, func_name), func_name
+            assert isinstance(kwargs, dict)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.23456, "b": "x"}, {"a": 2.0, "b": "yy"}]
+        text = format_table(rows, ["a", "b"], title="T")
+        assert "=== T ===" in text
+        assert text.count("\n") >= 3
+
+    def test_format_table_missing_key(self):
+        text = format_table([{"a": 1.0}], ["a", "missing"])
+        assert "missing" in text
+
+    def test_summarize_cdf(self):
+        cdf = {"x": np.array([1.0, 2.0, 3.0]), "y": np.array([0.3, 0.6, 1.0])}
+        summary = summarize_cdf(cdf)
+        assert "p50=2" in summary and "n=3" in summary
+        assert summarize_cdf({"x": np.array([]), "y": np.array([])}) == "(empty)"
+
+    def test_ascii_cdf(self):
+        cdf = {"x": np.linspace(0, 10, 50), "y": np.linspace(0, 1, 50)}
+        plot = ascii_cdf(cdf, width=20, label="demo")
+        assert "demo" in plot
+        assert plot.count("|") >= 22  # 11 decile rows, two pipes each
+
+    def test_render_row_list(self):
+        text = render("x", [{"a": 1, "b": 2.5}])
+        assert "### x ###" in text and "2.5" in text
+
+    def test_render_composite(self):
+        result = {
+            "rows": [{"a": 1}],
+            "cdfs": {"s": {"x": np.array([1.0]), "y": np.array([1.0])}},
+        }
+        text = render("combo", result)
+        assert "s:" in text
+
+    def test_render_nested(self):
+        result = {
+            "grp": {
+                "cdf": {"x": np.array([1.0, 2.0]), "y": np.array([0.5, 1.0])},
+                "scalar": 3.0,
+                "arr": np.array([1.0, 2.0, 3.0]),
+            },
+            "top": np.array([5.0]),
+        }
+        text = render("nested", result)
+        assert "grp:" in text and "scalar: 3" in text and "top:" in text

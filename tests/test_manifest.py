@@ -1,0 +1,160 @@
+"""Tests for the VOXEL-extended DASH manifest."""
+
+import pytest
+
+from repro.prep.manifest import (
+    QualityPoint,
+    Representation,
+    SegmentEntry,
+    VoxelManifest,
+    _parse_attrs,
+    _ranges_from_str,
+    _ranges_to_str,
+)
+from repro.prep.ranking import Ordering
+
+
+def _entry(index=0, quality=5):
+    return SegmentEntry(
+        index=index,
+        quality=quality,
+        media_range=(1000, 5000),
+        duration=4.0,
+        reliable_size=600,
+        ordering=Ordering.QOE_RANK,
+        frame_order=(2, 1, 3),
+        quality_points=(
+            QualityPoint(0.999, 4, 4000),
+            QualityPoint(0.99, 3, 3000),
+            QualityPoint(0.95, 2, 2000),
+        ),
+        reliable_ranges=((1000, 1500), (1500, 1532)),
+        unreliable_ranges=((1532, 2500), (2500, 3600), (3600, 5000)),
+    )
+
+
+class TestQualityPoint:
+    def test_serialize_parse_roundtrip(self):
+        point = QualityPoint(0.9876, 42, 123456)
+        assert QualityPoint.parse(point.serialize()) == point
+
+    def test_parse_format(self):
+        point = QualityPoint.parse("0.9900:49:4303546")
+        assert point.score == pytest.approx(0.99)
+        assert point.frames == 49
+        assert point.bytes == 4303546
+
+
+class TestRanges:
+    def test_roundtrip(self):
+        ranges = [(0, 10), (20, 35), (100, 101)]
+        assert _ranges_from_str(_ranges_to_str(ranges)) == ranges
+
+    def test_empty(self):
+        assert _ranges_from_str("") == []
+        assert _ranges_to_str([]) == ""
+
+
+class TestSegmentEntry:
+    def test_total_bytes(self):
+        assert _entry().total_bytes == 4000
+
+    def test_pristine_score(self):
+        assert _entry().pristine_score == pytest.approx(0.999)
+
+    def test_score_for_bytes_picks_best_fitting(self):
+        entry = _entry()
+        assert entry.score_for_bytes(4000) == pytest.approx(0.999)
+        assert entry.score_for_bytes(3500) == pytest.approx(0.99)
+        assert entry.score_for_bytes(2999) == pytest.approx(0.95)
+        # Below the smallest point: pessimistic estimate.
+        assert entry.score_for_bytes(100) == pytest.approx(0.95)
+
+    def test_bytes_for_score(self):
+        entry = _entry()
+        assert entry.bytes_for_score(0.99) == 3000
+        assert entry.bytes_for_score(0.999) == 4000
+        assert entry.bytes_for_score(1.0) is None
+
+    def test_serialize_parse_roundtrip(self):
+        entry = _entry()
+        parsed = SegmentEntry.parse(entry.serialize(), quality=entry.quality)
+        assert parsed == entry
+
+    def test_basic_view_strips_voxel_metadata(self):
+        basic = _entry().basic_view()
+        assert basic.ordering is Ordering.ORIGINAL
+        assert basic.frame_order == ()
+        assert basic.unreliable_ranges == ()
+        assert basic.reliable_size == basic.total_bytes
+        assert basic.reliable_ranges == (basic.media_range,)
+        # The pristine score survives for bookkeeping.
+        assert basic.pristine_score == pytest.approx(0.999)
+
+
+class TestManifest:
+    def _manifest(self):
+        reps = [
+            Representation(
+                quality=q,
+                avg_bitrate_bps=1e6 * (q + 1),
+                resolution=(640, 360),
+                segments=[_entry(index=i, quality=q) for i in range(3)],
+            )
+            for q in range(2)
+        ]
+        return VoxelManifest(
+            video="demo", segment_duration=4.0, representations=reps
+        )
+
+    def test_shape(self):
+        m = self._manifest()
+        assert m.num_levels == 2
+        assert m.num_segments == 3
+        assert m.duration == pytest.approx(12.0)
+
+    def test_serialize_parse_roundtrip(self):
+        m = self._manifest()
+        parsed = VoxelManifest.parse(m.serialize())
+        assert parsed.video == m.video
+        assert parsed.num_levels == m.num_levels
+        for q in range(m.num_levels):
+            for i in range(m.num_segments):
+                assert parsed.entry(q, i) == m.entry(q, i)
+
+    def test_real_manifest_roundtrip(self, tiny_prepared):
+        manifest = tiny_prepared.manifest
+        parsed = VoxelManifest.parse(manifest.serialize())
+        assert parsed.num_levels == manifest.num_levels
+        entry = manifest.entry(12, 0)
+        assert parsed.entry(12, 0).quality_points == entry.quality_points
+        assert parsed.entry(12, 0).frame_order == entry.frame_order
+        assert parsed.entry(12, 0).reliable_ranges == entry.reliable_ranges
+
+    def test_basic_view(self):
+        basic = self._manifest().basic_view()
+        for rep in basic.representations:
+            for entry in rep.segments:
+                assert entry.frame_order == ()
+
+    def test_metadata_bytes_positive(self, tiny_prepared):
+        assert tiny_prepared.manifest.metadata_bytes() > 1000
+
+    def test_segment_sizes(self):
+        m = self._manifest()
+        assert m.segment_sizes(0) == [4000, 4000, 4000]
+
+    def test_parse_rejects_orphan_segment(self):
+        text = (
+            '<MPD video="x" segmentDuration="4.0">\n'
+            + _entry().serialize()
+            + "\n</MPD>"
+        )
+        with pytest.raises(ValueError, match="outside Representation"):
+            VoxelManifest.parse(text)
+
+
+class TestAttrParser:
+    def test_parses_attributes(self):
+        attrs = _parse_attrs('<Tag a="1" bcd="x y z" e="">')
+        assert attrs == {"a": "1", "bcd": "x y z", "e": ""}
