@@ -216,6 +216,7 @@ class AbrStar(BolaSsim):
                     rescue = entry.pristine_score > projected + 0.15
                     if (early and better) or rescue:
                         self._abandoned_segment = progress.segment_index
+                        self._count_control("restart")
                         return ControlAction.restart(quality)
                     break
 
@@ -249,6 +250,7 @@ class AbrStar(BolaSsim):
                 new_limit = max(new_limit, floor_bytes)
         if new_limit >= progress.bytes_total:
             return ControlAction.cont()
+        self._count_control("truncate")
         return ControlAction.truncate(at_bytes=new_limit)
 
     @staticmethod

@@ -129,6 +129,14 @@ class ABRAlgorithm(abc.ABC):
                     delivered_bytes: int, elapsed: float) -> None:
         """Hook after a segment download finishes (for internal state)."""
 
+    def _count_control(self, verb: str) -> None:
+        """Count a non-CONTINUE control action in the metrics registry."""
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "abr.control_actions", abr=self.name, verb=verb
+        ).inc()
+
 
 def clamp_quality(quality: int, num_levels: int) -> int:
     return max(0, min(quality, num_levels - 1))

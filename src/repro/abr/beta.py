@@ -143,6 +143,7 @@ class BetaABR(ABRAlgorithm):
             return ControlAction.cont()
         # Worst case: discard and refetch the lowest quality.
         self._restarted = progress.segment_index
+        self._count_control("restart")
         return ControlAction.restart(0)
 
     def beta_target_bytes(self, quality: int, index: int) -> int:

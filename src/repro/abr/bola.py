@@ -217,4 +217,5 @@ class Bola(ABRAlgorithm):
                     restart_quality = quality
                     break
         self._abandoned_segment = progress.segment_index
+        self._count_control("restart")
         return ControlAction.restart(min(restart_quality, progress.quality - 1))

@@ -5,12 +5,16 @@
     python -m repro list                      # catalogs: videos/abrs/traces
     python -m repro prepare bbb               # offline analysis summary
     python -m repro stream bbb --abr abr_star --trace verizon --buffer 2
+    python -m repro stream bbb --trace-out trace.jsonl   # + session trace
+    python -m repro trace trace.jsonl         # inspect a recorded trace
     python -m repro compare bbb --trace tmobile --buffer 1
     python -m repro figure fig6 --light       # regenerate a paper figure
     python -m repro survey                    # the simulated user study
 
 Every command prints human-readable text; ``--json`` switches to
-machine-readable output where applicable.
+machine-readable output where applicable; ``--metrics`` appends the
+process metrics registry (and enables the profiling timers).  Unknown
+video/ABR/trace names exit with status 2 and a one-line message.
 """
 
 from __future__ import annotations
@@ -75,6 +79,19 @@ def _cmd_prepare(args: argparse.Namespace) -> int:
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro import prepare_video, stream
 
+    tracer = None
+    trace_sink = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        # Open the sink before spending a whole session on the run.
+        try:
+            trace_sink = open(args.trace_out, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write trace {args.trace_out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        tracer = Tracer()
     prepared = prepare_video(args.video)
     abr_kwargs: Dict = {}
     if args.bandwidth_safety is not None:
@@ -88,9 +105,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         seed=args.seed,
         trace_shift_s=args.shift,
         abr_kwargs=abr_kwargs or None,
+        tracer=tracer,
     )
+    if tracer is not None:
+        written = tracer.write_jsonl(trace_sink)
+        trace_sink.close()
+        print(f"wrote {written} events to {args.trace_out}",
+              file=sys.stderr)
     summary = result.summary()
     if args.json:
+        if getattr(args, "metrics", False):
+            from repro.obs import get_registry
+
+            summary = dict(summary, metrics=get_registry().dump())
         print(json.dumps(summary, indent=2))
         return 0
     metrics = result.metrics
@@ -104,7 +131,64 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     print(f"  data skipped   {metrics.data_skipped_fraction * 100:7.2f} %")
     print(f"  residual loss  {metrics.residual_loss_fraction * 100:7.2f} %")
     print(f"  switches       {metrics.quality_switches:7d}")
+    _maybe_print_metrics(args)
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import inspect as trace_inspect
+
+    from repro.obs import SchemaError
+
+    try:
+        events = trace_inspect.load_trace(args.file)
+    except (OSError, SchemaError) as exc:
+        print(f"error: cannot read trace {args.file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.type is not None:
+        selected = trace_inspect.filter_events(events, args.type)
+        limited = selected[: args.limit] if args.limit > 0 else selected
+        if args.json:
+            print(json.dumps([json.loads(e.to_json()) for e in limited],
+                             indent=2))
+        else:
+            for event in limited:
+                print(event.to_json())
+            if len(selected) > len(limited):
+                print(f"... {len(selected) - len(limited)} more",
+                      file=sys.stderr)
+        return 0
+    summary = trace_inspect.summarize(events)
+    if args.timeline:
+        rows = trace_inspect.timeline(events)
+        if args.json:
+            print(json.dumps({"summary": summary, "timeline": rows},
+                             indent=2))
+            return 0
+        print(trace_inspect.format_summary(summary))
+        print(trace_inspect.format_timeline(rows))
+        return 0
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(trace_inspect.format_summary(summary))
+    return 0
+
+
+def _maybe_print_metrics(args: argparse.Namespace) -> None:
+    """Print the registry dump when ``--metrics`` was requested."""
+    if not getattr(args, "metrics", False):
+        return
+    from repro.obs import get_registry, timing_summary
+
+    rendered = get_registry().render()
+    body = "\n".join(
+        line for line in rendered.splitlines()
+        if " timing." not in line
+    )
+    print(body)
+    print(timing_summary())
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -143,7 +227,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             "bitrate_kbps": float(np.mean(bitrates)),
         })
     if args.json:
-        print(json.dumps(rows, indent=2))
+        if args.metrics:
+            from repro.obs import get_registry
+
+            print(json.dumps(
+                {"rows": rows, "metrics": get_registry().dump()}, indent=2
+            ))
+        else:
+            print(json.dumps(rows, indent=2))
         return 0
     print(f"{args.video} over {args.trace}, {args.buffer}-segment buffer, "
           f"{args.reps} trials")
@@ -154,6 +245,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"{row['system']:>12s} {row['buf_ratio_p90_pct']:14.2f} "
             f"{row['mean_ssim']:10.3f} {row['bitrate_kbps']:8.0f}"
         )
+    _maybe_print_metrics(args)
     return 0
 
 
@@ -209,6 +301,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     kwargs = dict(light_kwargs) if args.light else {}
     result = func(**kwargs)
     print(render(key, result))
+    _maybe_print_metrics(args)
     return 0
 
 
@@ -238,6 +331,7 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         f"  would stop:   VOXEL {result.would_stop['VOXEL'] * 100:.0f}% / "
         f"BOLA {result.would_stop['BOLA'] * 100:.0f}%"
     )
+    _maybe_print_metrics(args)
     return 0
 
 
@@ -268,6 +362,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--shift", type=float, default=0.0,
                           help="trace shift in seconds")
     p_stream.add_argument("--bandwidth-safety", type=float, default=None)
+    p_stream.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record a structured session trace to this JSONL file",
+    )
+    p_stream.add_argument("--metrics", action="store_true",
+                          help="print the metrics registry after the run")
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect a JSONL session trace"
+    )
+    p_trace.add_argument("file", help="trace file written by --trace-out")
+    p_trace.add_argument("--type", default=None,
+                         help="print raw events of this type only")
+    p_trace.add_argument("--timeline", action="store_true",
+                         help="reconstruct the per-segment timeline")
+    p_trace.add_argument("--limit", type=int, default=0,
+                         help="cap the number of events printed by --type")
 
     p_compare = sub.add_parser(
         "compare", help="BOLA vs BETA vs VOXEL on one scenario"
@@ -277,6 +388,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--buffer", type=int, default=1)
     p_compare.add_argument("--reps", type=int, default=5)
     p_compare.add_argument("--seed", type=int, default=0)
+    p_compare.add_argument("--metrics", action="store_true",
+                           help="print the metrics registry after the run")
 
     p_figure = sub.add_parser(
         "figure", help="regenerate a paper table/figure"
@@ -286,11 +399,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--light", action="store_true",
         help="reduced workload (fewer videos/repetitions)",
     )
+    p_figure.add_argument("--metrics", action="store_true",
+                          help="print the metrics registry after the run")
 
     p_survey = sub.add_parser("survey", help="run the simulated user study")
     p_survey.add_argument("--clips", type=int, default=8)
     p_survey.add_argument("--participants", type=int, default=54)
     p_survey.add_argument("--seed", type=int, default=0)
+    p_survey.add_argument("--metrics", action="store_true",
+                          help="print the metrics registry after the run")
 
     return parser
 
@@ -299,6 +416,7 @@ _HANDLERS = {
     "list": _cmd_list,
     "prepare": _cmd_prepare,
     "stream": _cmd_stream,
+    "trace": _cmd_trace,
     "compare": _cmd_compare,
     "figure": _cmd_figure,
     "survey": _cmd_survey,
@@ -308,7 +426,24 @@ _HANDLERS = {
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _HANDLERS[args.command](args)
+    if getattr(args, "metrics", False):
+        from repro.obs import enable_profiling
+
+        enable_profiling(True)
+    try:
+        return _HANDLERS[args.command](args)
+    except KeyError as exc:
+        # Catalog lookups (videos, ABRs, traces) raise KeyError with a
+        # one-line "unknown X; known: ..." message.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; suppress the noise
+        # (and the flush-on-exit repeat) per the Python docs recipe.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 120
 
 
 if __name__ == "__main__":

@@ -85,6 +85,7 @@ def stream(
     trace_shift_s: float = 0.0,
     abr_kwargs: Optional[Dict] = None,
     network_trace: Optional[NetworkTrace] = None,
+    tracer=None,
     **session_kwargs,
 ) -> StreamResult:
     """Stream a prepared video once and return the session metrics.
@@ -100,6 +101,8 @@ def stream(
         trace_shift_s: linear trace shift (repetition protocol of §5).
         abr_kwargs: extra keyword arguments for the ABR constructor.
         network_trace: pass an explicit trace object instead of a name.
+        tracer: an :class:`~repro.obs.Tracer` collecting structured
+            session events (``None`` = tracing off, zero overhead).
         **session_kwargs: forwarded to :class:`SessionConfig` (e.g.
             ``queue_packets=750``, ``selective_retransmission=False``).
     """
@@ -114,6 +117,8 @@ def stream(
         partially_reliable=partially_reliable,
         **session_kwargs,
     )
-    session = StreamingSession(prepared, algorithm, the_trace, config)
+    session = StreamingSession(
+        prepared, algorithm, the_trace, config, tracer=tracer
+    )
     metrics = session.run()
     return StreamResult(metrics=metrics, prepared=prepared, config=config)

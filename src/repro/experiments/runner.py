@@ -22,6 +22,8 @@ from repro.network.crosstraffic import (
     generate_cross_demand,
 )
 from repro.network.traces import NetworkTrace, get_trace
+from repro.obs.metrics import get_registry
+from repro.obs.profiling import timed
 from repro.player.metrics import SessionMetrics, percentile_across, stderr_across
 from repro.player.session import SessionConfig, StreamingSession
 from repro.prep.prepare import PreparedVideo, get_prepared
@@ -111,8 +113,12 @@ def run_single(
     shift_s: float = 0.0,
     prepared: Optional[PreparedVideo] = None,
     trace: Optional[NetworkTrace] = None,
+    tracer=None,
 ) -> SessionMetrics:
     """Run one streaming session for the configuration."""
+    get_registry().counter(
+        "experiments.sessions", abr=config.abr, trace=config.trace
+    ).inc()
     if prepared is None:
         prepared = get_prepared(config.video)
     if trace is None:
@@ -139,9 +145,11 @@ def run_single(
         queue_packets=config.queue_packets,
     )
     session = StreamingSession(
-        prepared, abr, trace, session_config, cross_demand=cross
+        prepared, abr, trace, session_config, cross_demand=cross,
+        tracer=tracer,
     )
-    return session.run()
+    with timed("experiment.run_single"):
+        return session.run()
 
 
 def run_trials(

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.network.traces import NetworkTrace
+from repro.obs.metrics import get_registry
 
 MTU = 1500  # bytes
 BASE_RTT = 0.060  # 30 ms each way (§5)
@@ -71,6 +72,10 @@ class BottleneckLink:
             queue_packets = max(int(bdp_factor * bdp_bytes / mtu), 4)
         self.queue_packets = int(queue_packets)
         self.queue_bytes = 0  # current occupancy
+        registry = get_registry()
+        self._ctr_offered = registry.counter("link.packets_offered")
+        self._ctr_dropped = registry.counter("link.packets_dropped")
+        self._gauge_queue = registry.gauge("link.queue_bytes")
 
     # ------------------------------------------------------------------
     def available_bps(self, t: float) -> float:
@@ -111,6 +116,10 @@ class BottleneckLink:
 
         dropped = min(int(dropped_bytes // self.mtu), packets)
         delivered = packets - dropped
+        self._ctr_offered.inc(packets)
+        if dropped:
+            self._ctr_dropped.inc(dropped)
+        self._gauge_queue.set(self.queue_bytes)
         return RoundOutcome(
             delivered_packets=delivered,
             dropped_packets=dropped,

@@ -1,0 +1,62 @@
+"""Observability: structured tracing, metrics registry, profiling hooks.
+
+The layer is zero-dependency and deterministic: trace timestamps come
+from the simulation clock (never wall time), so the same seed yields a
+byte-identical JSONL trace; the metrics registry and the (wall-time)
+profiling histograms live outside the trace and never influence the
+simulation.
+
+Usage::
+
+    from repro import prepare_video, stream
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    stream(prepare_video("bbb"), tracer=tracer)
+    tracer.write_jsonl("trace.jsonl")
+"""
+
+from repro.obs.events import (
+    EVENT_FIELDS,
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    SchemaError,
+    TraceEvent,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.profiling import (
+    enable_profiling,
+    profiling_enabled,
+    timed,
+    timing_summary,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, read_jsonl
+
+__all__ = [
+    "EVENT_FIELDS",
+    "EVENT_TYPES",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "TraceEvent",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+    "enable_profiling",
+    "profiling_enabled",
+    "timed",
+    "timing_summary",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "read_jsonl",
+]

@@ -1,0 +1,138 @@
+"""Typed trace events: the schema of the observability layer.
+
+Every event carries the schema version, a monotonically increasing
+sequence number, a *simulation-clock* timestamp (never wall time — traces
+must be byte-identical across runs of the same seed), a type from the
+registry below, and the type's payload fields.
+
+The schema is versioned so traces stay diffable across PRs: adding an
+event type or an optional field is backward compatible; renaming or
+removing one bumps :data:`SCHEMA_VERSION`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+SCHEMA_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Event types (session layer)
+SESSION_START = "session_start"
+SESSION_END = "session_end"
+MANIFEST_FETCH = "manifest_fetch"
+ABR_DECISION = "abr_decision"
+DOWNLOAD_START = "download_start"
+DOWNLOAD_END = "download_end"
+ABANDON = "abandon"          # restart at another quality, bytes discarded
+TRUNCATE = "truncate"        # ABR*-style keep-partial truncation
+STALL = "stall"
+BUFFER_SAMPLE = "buffer_sample"
+SELECTIVE_RETX = "selective_retx"
+# Event types (transport / network layer)
+TRANSPORT_ROUND = "transport_round"
+PACKET_LOSS = "packet_loss"
+
+#: type -> required payload fields.  Emission and parsing both validate
+#: against this map, so a trace that round-trips is schema conformant.
+EVENT_FIELDS: Dict[str, tuple] = {
+    SESSION_START: (
+        "video", "abr", "num_segments", "segment_duration",
+        "buffer_capacity_s", "backend", "partially_reliable",
+    ),
+    SESSION_END: (
+        "buf_ratio", "total_stall", "startup_delay", "mean_score",
+        "segments",
+    ),
+    MANIFEST_FETCH: ("mode", "bytes", "elapsed"),
+    ABR_DECISION: (
+        "segment", "quality", "target_bytes", "unreliable", "wait_s",
+        "buffer_level_s", "throughput_bps", "expected_score",
+    ),
+    DOWNLOAD_START: ("segment", "quality", "wire_bytes", "attempt"),
+    DOWNLOAD_END: (
+        "segment", "quality", "bytes_requested", "bytes_delivered",
+        "elapsed", "truncated", "restarts", "lost_bytes", "stall",
+    ),
+    ABANDON: ("segment", "from_quality", "to_quality", "wasted_bytes"),
+    TRUNCATE: ("segment", "quality", "bytes_requested", "wire_bytes"),
+    STALL: ("duration", "segment"),
+    BUFFER_SAMPLE: ("segment", "level_s", "capacity_s"),
+    SELECTIVE_RETX: ("segment", "repaired_bytes", "residual_bytes"),
+    TRANSPORT_ROUND: ("round", "rtt", "offered", "dropped", "cwnd"),
+    PACKET_LOSS: ("dropped_packets", "lost_bytes", "reliable"),
+}
+
+EVENT_TYPES = tuple(sorted(EVENT_FIELDS))
+
+
+class SchemaError(ValueError):
+    """An event does not conform to the trace schema."""
+
+
+@dataclass
+class TraceEvent:
+    """One structured, timestamped observation."""
+
+    seq: int
+    t: float  # simulation-clock seconds
+    type: str
+    fields: Dict[str, object]
+
+    def validate(self) -> None:
+        required = EVENT_FIELDS.get(self.type)
+        if required is None:
+            raise SchemaError(f"unknown event type {self.type!r}")
+        missing = [k for k in required if k not in self.fields]
+        if missing:
+            raise SchemaError(
+                f"event {self.type!r} missing fields {missing}"
+            )
+        extra = [k for k in self.fields if k not in required]
+        if extra:
+            raise SchemaError(
+                f"event {self.type!r} has unknown fields {extra}"
+            )
+
+    def to_json(self) -> str:
+        payload = {"v": SCHEMA_VERSION, "seq": self.seq, "t": self.t,
+                   "type": self.type}
+        payload.update(self.fields)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"unparseable trace line: {exc}") from None
+        if not isinstance(payload, dict):
+            raise SchemaError("trace line is not a JSON object")
+        version = payload.pop("v", None)
+        if version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported trace schema version {version!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        try:
+            seq = payload.pop("seq")
+            t = payload.pop("t")
+            type_ = payload.pop("type")
+        except KeyError as exc:
+            raise SchemaError(f"trace line missing {exc.args[0]!r}") from None
+        event = cls(seq=int(seq), t=float(t), type=str(type_),
+                    fields=payload)
+        event.validate()
+        return event
+
+
+def parse_jsonl(lines: Iterable[str]) -> List[TraceEvent]:
+    """Parse (and validate) a JSONL trace."""
+    events = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_json(line))
+    return events

@@ -1,0 +1,164 @@
+"""Trace inspector: summarize a JSONL trace, reconstruct timelines.
+
+Backs the ``repro trace`` CLI command.  Given the events of one session
+it can answer the Fig. 6/7-style questions the aggregates hide: which
+ABR decisions ran, where the stalls were, how the buffer and the chosen
+bitrate evolved segment by segment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import events as ev
+from repro.obs.events import TraceEvent
+from repro.obs.tracer import read_jsonl
+
+
+def load_trace(path: str) -> List[TraceEvent]:
+    """Read and schema-validate a JSONL trace file."""
+    return read_jsonl(path)
+
+
+def filter_events(
+    events: Sequence[TraceEvent], type_: Optional[str] = None
+) -> List[TraceEvent]:
+    if type_ is None:
+        return list(events)
+    return [e for e in events if e.type == type_]
+
+
+# ---------------------------------------------------------------------------
+def summarize(events: Sequence[TraceEvent]) -> Dict[str, object]:
+    """Aggregate view of one trace: counts, lifecycle, loss/repair totals."""
+    counts = TallyCounter(e.type for e in events)
+    summary: Dict[str, object] = {
+        "schema_version": ev.SCHEMA_VERSION,
+        "events": len(events),
+        "event_counts": dict(sorted(counts.items())),
+        "duration": events[-1].t - events[0].t if events else 0.0,
+    }
+    starts = [e for e in events if e.type == ev.SESSION_START]
+    if starts:
+        summary["session"] = dict(starts[0].fields)
+    ends = [e for e in events if e.type == ev.SESSION_END]
+    if ends:
+        summary["result"] = dict(ends[-1].fields)
+    stalls = [e for e in events if e.type == ev.STALL]
+    summary["stall_count"] = len(stalls)
+    summary["stall_seconds"] = float(
+        sum(e.fields["duration"] for e in stalls)
+    )
+    summary["abr_decisions"] = counts.get(ev.ABR_DECISION, 0)
+    summary["abandons"] = counts.get(ev.ABANDON, 0)
+    summary["truncations"] = counts.get(ev.TRUNCATE, 0)
+    losses = [e for e in events if e.type == ev.PACKET_LOSS]
+    summary["loss_events"] = len(losses)
+    summary["lost_packets"] = int(
+        sum(e.fields["dropped_packets"] for e in losses)
+    )
+    repairs = [e for e in events if e.type == ev.SELECTIVE_RETX]
+    summary["repaired_bytes"] = int(
+        sum(e.fields["repaired_bytes"] for e in repairs)
+    )
+    return summary
+
+
+def timeline(events: Sequence[TraceEvent]) -> List[Dict[str, object]]:
+    """Per-segment rows reconstructed from the event stream.
+
+    One row per streamed segment with the decision, realized download,
+    stall, and post-push buffer level — the raw material of a Fig. 7
+    per-segment narrative.
+    """
+    rows: Dict[int, Dict[str, object]] = {}
+
+    def row(segment: int) -> Dict[str, object]:
+        return rows.setdefault(segment, {"segment": segment})
+
+    seg_dur = None
+    for event in events:
+        f = event.fields
+        if event.type == ev.SESSION_START:
+            seg_dur = float(f["segment_duration"])
+        elif event.type == ev.ABR_DECISION and f["wait_s"] == 0:
+            r = row(int(f["segment"]))
+            r["quality"] = f["quality"]
+            r["target_bytes"] = f["target_bytes"]
+            r["buffer_s"] = round(float(f["buffer_level_s"]), 3)
+            r["tput_kbps"] = round(float(f["throughput_bps"]) / 1e3, 1)
+        elif event.type == ev.DOWNLOAD_END:
+            r = row(int(f["segment"]))
+            r["quality"] = f["quality"]  # realized (restarts may differ)
+            r["bytes"] = f["bytes_delivered"]
+            r["time_s"] = round(float(f["elapsed"]), 3)
+            r["stall_s"] = round(float(f["stall"]), 3)
+            r["truncated"] = bool(f["truncated"])
+            r["restarts"] = f["restarts"]
+            r["lost_bytes"] = f["lost_bytes"]
+            if seg_dur:
+                r["bitrate_kbps"] = round(
+                    float(f["bytes_delivered"]) * 8.0 / seg_dur / 1e3, 1
+                )
+        elif event.type == ev.BUFFER_SAMPLE:
+            row(int(f["segment"]))["buffer_after_s"] = round(
+                float(f["level_s"]), 3
+            )
+        elif event.type == ev.SELECTIVE_RETX:
+            r = row(int(f["segment"]))
+            r["repaired_bytes"] = (
+                int(r.get("repaired_bytes", 0)) + int(f["repaired_bytes"])
+            )
+    return [rows[k] for k in sorted(rows)]
+
+
+# ---------------------------------------------------------------------------
+def format_summary(summary: Dict[str, object]) -> str:
+    lines = [
+        f"trace: {summary['events']} events, schema "
+        f"v{summary['schema_version']}, "
+        f"{summary['duration']:.2f} s of session time",
+    ]
+    session = summary.get("session")
+    if session:
+        lines.append(
+            f"session: {session['video']} / {session['abr']} / "
+            f"{session['num_segments']} segments / "
+            f"{'QUIC*' if session['partially_reliable'] else 'QUIC'} "
+            f"({session['backend']} backend)"
+        )
+    result = summary.get("result")
+    if result:
+        lines.append(
+            f"result: bufRatio {float(result['buf_ratio']) * 100:.2f} %  "
+            f"stall {float(result['total_stall']):.2f} s  "
+            f"mean score {float(result['mean_score']):.3f}"
+        )
+    lines.append(
+        f"abr: {summary['abr_decisions']} decisions, "
+        f"{summary['abandons']} abandons, "
+        f"{summary['truncations']} truncations"
+    )
+    lines.append(
+        f"loss: {summary['loss_events']} loss events "
+        f"({summary['lost_packets']} packets), "
+        f"{summary['repaired_bytes']} bytes repaired, "
+        f"{summary['stall_count']} stalls "
+        f"({summary['stall_seconds']:.2f} s)"
+    )
+    lines.append("events by type:")
+    for type_, count in summary["event_counts"].items():
+        lines.append(f"  {type_:18s} {count}")
+    return "\n".join(lines)
+
+
+def format_timeline(rows: List[Dict[str, object]]) -> str:
+    from repro.experiments.report import format_table
+
+    columns = [
+        "segment", "quality", "buffer_s", "tput_kbps", "bytes",
+        "bitrate_kbps", "time_s", "stall_s", "truncated", "restarts",
+        "lost_bytes", "buffer_after_s",
+    ]
+    return format_table(rows, columns, title="per-segment timeline")

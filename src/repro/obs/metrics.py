@@ -1,0 +1,198 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+Instruments the hot layers of the stack (transport rounds, link drops,
+ABR control actions, experiment sessions) with labeled series, prometheus
+style but zero-dependency::
+
+    registry = get_registry()
+    drops = registry.counter("link.dropped_packets", trace="verizon")
+    drops.inc(outcome.dropped_packets)
+
+Metric objects are cheap to hold, so instrumented classes look them up
+once at construction and call ``inc``/``set``/``observe`` (a single
+attribute update) on the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, object]) -> LabelKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, buffer level)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Sample distribution with exact percentiles.
+
+    Samples are kept verbatim (simulation workloads observe thousands,
+    not millions, of values); percentiles use the nearest-rank method so
+    they are exact and deterministic.
+    """
+
+    __slots__ = ("_values", "total")
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._values) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; ``q`` in [0, 100]."""
+        if not self._values:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} out of [0, 100]")
+        ordered = sorted(self._values)
+        if q == 0.0:
+            return ordered[0]
+        rank = math.ceil(q / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled metric series."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[LabelKey, Counter] = {}
+        self._gauges: Dict[LabelKey, Gauge] = {}
+        self._histograms: Dict[LabelKey, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = _key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = _key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram()
+        return metric
+
+    # ------------------------------------------------------------------
+    def dump(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot of every series, keyed by formatted series name."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for (name, labels), metric in sorted(self._counters.items()):
+            out["counters"][format_series(name, labels)] = metric.value
+        for (name, labels), metric in sorted(self._gauges.items()):
+            out["gauges"][format_series(name, labels)] = metric.value
+        for (name, labels), metric in sorted(self._histograms.items()):
+            out["histograms"][format_series(name, labels)] = metric.summary()
+        return out
+
+    def render(self, prefix: Optional[str] = None) -> str:
+        """Human-readable dump (``prefix`` filters series names)."""
+        lines: List[str] = ["=== metrics ==="]
+        snapshot = self.dump()
+        for series, value in snapshot["counters"].items():
+            if prefix and not series.startswith(prefix):
+                continue
+            lines.append(f"counter   {series} = {value:g}")
+        for series, value in snapshot["gauges"].items():
+            if prefix and not series.startswith(prefix):
+                continue
+            lines.append(f"gauge     {series} = {value:g}")
+        for series, summary in snapshot["histograms"].items():
+            if prefix and not series.startswith(prefix):
+                continue
+            lines.append(
+                f"histogram {series} count={summary['count']:g} "
+                f"mean={summary['mean']:.6g} p50={summary['p50']:.6g} "
+                f"p90={summary['p90']:.6g} p99={summary['p99']:.6g}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT_REGISTRY
+
+
+def reset_registry() -> None:
+    """Clear the default registry (test isolation, fresh experiments)."""
+    _DEFAULT_REGISTRY.reset()

@@ -1,0 +1,90 @@
+"""Profiling hooks: wall-time histograms for hot paths.
+
+``timed(name)`` works as a context manager *and* a decorator::
+
+    with timed("decode_segment"):
+        decode_segment(...)
+
+    @timed("abr.choose")
+    def choose(...): ...
+
+Timings go into ``timing.<name>`` histograms (seconds) in the default
+:class:`~repro.obs.metrics.MetricsRegistry`.  Profiling is **off** by
+default — a disabled ``timed`` block costs one global read — and uses
+wall time, so it feeds only the registry, never the (deterministic,
+simulation-clocked) trace.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+_ENABLED = False
+
+
+def enable_profiling(on: bool = True) -> None:
+    """Globally switch the ``timed`` hooks on or off."""
+    global _ENABLED
+    _ENABLED = bool(on)
+
+
+def profiling_enabled() -> bool:
+    return _ENABLED
+
+
+class timed:
+    """Time a block or callable into a ``timing.<name>`` histogram."""
+
+    __slots__ = ("name", "registry", "_t0")
+
+    def __init__(self, name: str, registry: Optional[MetricsRegistry] = None):
+        self.name = name
+        self.registry = registry
+        self._t0 = 0.0
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "timed":
+        if _ENABLED:
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if _ENABLED:
+            registry = self.registry if self.registry is not None \
+                else get_registry()
+            registry.histogram(f"timing.{self.name}").observe(
+                time.perf_counter() - self._t0
+            )
+
+    # -- decorator -------------------------------------------------------
+    def __call__(self, func):
+        name, registry = self.name, self.registry
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if not _ENABLED:
+                return func(*args, **kwargs)
+            t0 = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                reg = registry if registry is not None else get_registry()
+                reg.histogram(f"timing.{name}").observe(
+                    time.perf_counter() - t0
+                )
+
+        return wrapper
+
+
+def timing_summary(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render the per-experiment timing histograms (``timing.*``)."""
+    registry = registry if registry is not None else get_registry()
+    text = registry.render(prefix="timing.")
+    lines = text.splitlines()
+    if len(lines) <= 1:
+        return "=== timing === (no samples; enable profiling)"
+    return "\n".join(["=== timing ==="] + lines[1:])

@@ -1,0 +1,149 @@
+"""Session tracer: a ring buffer of structured events with JSONL export.
+
+Two implementations share one interface:
+
+* :class:`Tracer` — records events; timestamps come from the simulation
+  :class:`~repro.network.clock.Clock` the session binds, so a seeded run
+  replays to a byte-identical trace.
+* :class:`NullTracer` — the default; every operation is a no-op.  Call
+  sites guard event construction with ``if tracer.enabled:`` so disabled
+  tracing costs one attribute read per site.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+from repro.network.clock import Clock
+from repro.obs.events import TraceEvent, parse_jsonl
+
+DEFAULT_CAPACITY = 262_144
+
+
+class NullTracer:
+    """No-op tracer: keeps the instrumented call sites branch-cheap."""
+
+    enabled = False
+
+    def bind_clock(self, clock: Clock) -> None:
+        pass
+
+    def emit(self, type_: str, **fields) -> None:
+        pass
+
+    def emit_at(self, t: float, type_: str, **fields) -> None:
+        pass
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def write_jsonl(self, destination) -> int:
+        return 0
+
+
+#: Shared no-op instance (the tracer has no state, one suffices).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects typed events in a bounded ring buffer.
+
+    Args:
+        clock: simulation clock supplying timestamps.  The streaming
+            session rebinds its own clock via :meth:`bind_clock`.
+        capacity: ring-buffer size; the oldest events are dropped once
+            exceeded (``dropped`` counts them).
+        validate: check each event against the schema on emission
+            (cheap; disable only in micro-benchmarks).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        capacity: int = DEFAULT_CAPACITY,
+        validate: bool = True,
+    ):
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.clock = clock
+        self.capacity = capacity
+        self.validate = validate
+        self.dropped = 0
+        self._seq = 0
+        self._buffer: deque = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    def bind_clock(self, clock: Clock) -> None:
+        """Use ``clock`` for timestamps from now on."""
+        self.clock = clock
+
+    def emit(self, type_: str, **fields) -> TraceEvent:
+        """Record one event, stamped with the current simulation time."""
+        t = self.clock.now if self.clock is not None else 0.0
+        return self.emit_at(t, type_, **fields)
+
+    def emit_at(self, t: float, type_: str, **fields) -> TraceEvent:
+        """Record one event with an explicit simulation timestamp.
+
+        Event-driven components (the packet backend) report the event
+        loop's time, which runs ahead of the session clock mid-download.
+        """
+        event = TraceEvent(seq=self._seq, t=t, type=type_, fields=fields)
+        if self.validate:
+            event.validate()
+        self._seq += 1
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._buffer)
+
+    def select(self, type_: str) -> List[TraceEvent]:
+        return [e for e in self._buffer if e.type == type_]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._seq = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The whole buffer as JSONL (one event per line)."""
+        return "\n".join(e.to_json() for e in self._buffer)
+
+    def write_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Write the buffer to a path or file object; returns event count."""
+        text = self.to_jsonl()
+        if text:
+            text += "\n"
+        if hasattr(destination, "write"):
+            destination.write(text)
+        else:
+            with open(destination, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return len(self._buffer)
+
+
+def read_jsonl(source: Union[str, IO[str], Iterable[str]]) -> List[TraceEvent]:
+    """Read a JSONL trace from a path, file object, or iterable of lines."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return parse_jsonl(handle)
+    return parse_jsonl(source)

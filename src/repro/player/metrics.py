@@ -38,10 +38,11 @@ class SegmentRecord:
     restarts: int  # abandon-and-restart count
     truncated: bool  # ABR*-style keep-partial truncation happened
     wasted_bytes: int  # discarded by restarts
+    segment_duration: float = 4.0  # seconds of media this segment covers
 
     @property
     def delivered_bitrate_bps(self) -> float:
-        return self.bytes_delivered * 8.0 / 4.0  # 4 s segments
+        return self.bytes_delivered * 8.0 / self.segment_duration
 
     @property
     def skipped_bytes(self) -> int:
@@ -59,6 +60,7 @@ class SessionMetrics:
     total_stall: float
     media_duration: float
     wall_duration: float
+    segment_duration: float = 4.0
 
     @property
     def buf_ratio(self) -> float:
@@ -92,7 +94,9 @@ class SessionMetrics:
         """Mean full-size bitrate of the chosen quality levels."""
         if not self.records:
             return 0.0
-        rates = [r.total_bytes * 8.0 / 4.0 for r in self.records]
+        rates = [
+            r.total_bytes * 8.0 / r.segment_duration for r in self.records
+        ]
         return float(np.mean(rates)) / 1e3
 
     @property
@@ -158,6 +162,9 @@ class SessionMetrics:
             "data_skipped": self.data_skipped_fraction,
             "residual_loss": self.residual_loss_fraction,
             "switches": float(self.quality_switches),
+            "perceptible_artifact_rate": self.perceptible_artifact_rate,
+            "segments_with_drops": float(self.segments_with_drops),
+            "wall_duration": self.wall_duration,
         }
 
 

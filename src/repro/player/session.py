@@ -31,6 +31,10 @@ from repro.abr.base import (
 from repro.network.clock import Clock
 from repro.network.link import BottleneckLink
 from repro.network.traces import NetworkTrace
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+from repro.obs.profiling import timed
+from repro.obs.tracer import NULL_TRACER
 from repro.player.buffer import PlaybackBuffer
 from repro.player.metrics import SegmentRecord, SessionMetrics
 from repro.prep.prepare import PreparedVideo
@@ -90,11 +94,14 @@ class StreamingSession:
         config: Optional[SessionConfig] = None,
         cross_demand: Optional[NetworkTrace] = None,
         link: Optional[BottleneckLink] = None,
+        tracer=None,
     ):
         self.prepared = prepared
         self.abr = abr
         self.config = config if config is not None else SessionConfig()
         self.clock = Clock()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(self.clock)
         if self.config.transport_backend == "packet":
             self.link = None
             self.connection = self._build_packet_connection(
@@ -111,6 +118,7 @@ class StreamingSession:
                 self.link,
                 self.clock,
                 partially_reliable=self.config.partially_reliable,
+                tracer=self.tracer,
             )
         else:
             raise ValueError(
@@ -138,6 +146,19 @@ class StreamingSession:
         self._records: List[SegmentRecord] = []
         self._total_stall = 0.0
         self._startup_delay = 0.0
+        registry = get_registry()
+        self._ctr_segments = registry.counter(
+            "session.segments", abr=self.abr.name
+        )
+        self._ctr_decisions = registry.counter(
+            "abr.decisions", abr=self.abr.name
+        )
+        self._ctr_stall = registry.counter(
+            "session.stall_seconds", abr=self.abr.name
+        )
+        self._ctr_repaired = registry.counter(
+            "session.repaired_bytes", abr=self.abr.name
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -173,6 +194,17 @@ class StreamingSession:
         last_quality: Optional[int] = None
         start_clock = self.clock.now
 
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.SESSION_START,
+                video=video.name,
+                abr=self.abr.name,
+                num_segments=video.num_segments,
+                segment_duration=self.segment_duration,
+                buffer_capacity_s=self.buffer.capacity_s,
+                backend=self.config.transport_backend,
+                partially_reliable=self.config.partially_reliable,
+            )
         self._before_session()
         for index in range(video.num_segments):
             self._before_segment(index)
@@ -181,6 +213,7 @@ class StreamingSession:
             decision = self._decide(index, last_quality)
             record = self._stream_segment(index, decision)
             self._records.append(record)
+            self._ctr_segments.inc()
             last_quality = record.quality
             self.abr.on_complete(
                 index, record.quality, record.bytes_delivered,
@@ -190,7 +223,7 @@ class StreamingSession:
 
         # Drain the remaining buffer (playback finishes).
         self.buffer.drain(self.buffer.level_s)
-        return SessionMetrics(
+        metrics = SessionMetrics(
             video=video.name,
             abr=self.abr.name,
             records=self._records,
@@ -198,7 +231,18 @@ class StreamingSession:
             total_stall=self._total_stall,
             media_duration=video.duration,
             wall_duration=self.clock.now - start_clock,
+            segment_duration=self.segment_duration,
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.SESSION_END,
+                buf_ratio=metrics.buf_ratio,
+                total_stall=metrics.total_stall,
+                startup_delay=metrics.startup_delay,
+                mean_score=metrics.mean_ssim,
+                segments=len(self._records),
+            )
+        return metrics
 
     # ------------------------------------------------------------------
     def _build_packet_connection(self, trace, cross_demand):
@@ -226,6 +270,7 @@ class StreamingSession:
             scheduler,
             clock=self.clock,
             partially_reliable=self.config.partially_reliable,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -250,12 +295,27 @@ class StreamingSession:
             raise ValueError(f"unknown manifest_fetch mode {mode!r}")
         result = self.connection.download(total, reliable=True)
         self._startup_delay += result.elapsed
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.MANIFEST_FETCH, mode=mode, bytes=total,
+                elapsed=result.elapsed,
+            )
 
     def _before_segment(self, index: int) -> None:
         """Hook before each segment's decision (subclass extension)."""
 
     def _after_segment(self, index: int, record: SegmentRecord) -> None:
         """Hook after each segment completes (subclass extension)."""
+
+    # ------------------------------------------------------------------
+    def _record_stall(self, stall: float, segment: int = -1) -> None:
+        """Account a rebuffering event (``segment`` -1 = between segments)."""
+        if stall <= 0:
+            return
+        self._total_stall += stall
+        self._ctr_stall.inc(stall)
+        if self.tracer.enabled:
+            self.tracer.emit(ev.STALL, duration=stall, segment=segment)
 
     # ------------------------------------------------------------------
     def _wait_for_room(self) -> None:
@@ -290,7 +350,7 @@ class StreamingSession:
         self._repair_losses(deadline=t0 + margin)
         elapsed = self.clock.now - t0
         if elapsed > 0:
-            self._total_stall += self.buffer.drain(elapsed)
+            self._record_stall(self.buffer.drain(elapsed))
 
     def _idle(self, duration: float) -> None:
         """Pass ``duration`` seconds of playback, repairing losses."""
@@ -306,7 +366,7 @@ class StreamingSession:
         if remaining > 0:
             self.connection.idle(remaining)
         elapsed = self.clock.now - t0
-        self._total_stall += self.buffer.drain(elapsed)
+        self._record_stall(self.buffer.drain(elapsed))
 
     def _repair_losses(self, deadline: float) -> None:
         """Selective retransmission of lost bytes during idle time."""
@@ -339,6 +399,14 @@ class StreamingSession:
                 pending.record.score = self._score_delivery(
                     pending.quality, pending.index, pending.delivery
                 )
+                self._ctr_repaired.inc(repaired)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ev.SELECTIVE_RETX,
+                        segment=pending.index,
+                        repaired_bytes=repaired,
+                        residual_bytes=pending.record.residual_loss_bytes,
+                    )
             if not pending.delivery.lost_intervals:
                 self._pending_repairs.remove(pending)
 
@@ -346,7 +414,21 @@ class StreamingSession:
     def _decide(self, index: int, last_quality: Optional[int]) -> Decision:
         while True:
             ctx = self._context(index, last_quality)
-            decision = self.abr.choose(ctx)
+            with timed("abr.choose"):
+                decision = self.abr.choose(ctx)
+            self._ctr_decisions.inc()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.ABR_DECISION,
+                    segment=index,
+                    quality=decision.quality,
+                    target_bytes=decision.target_bytes,
+                    unreliable=decision.unreliable,
+                    wait_s=decision.wait_s,
+                    buffer_level_s=ctx.buffer_level_s,
+                    throughput_bps=ctx.throughput_bps,
+                    expected_score=decision.expected_score,
+                )
             if decision.wait_s <= 0:
                 return decision
             self._idle(decision.wait_s)
@@ -369,10 +451,26 @@ class StreamingSession:
                 total_wire, restart_to,
             )
 
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.DOWNLOAD_START,
+                    segment=index,
+                    quality=decision.quality,
+                    wire_bytes=total_wire,
+                    attempt=restarts,
+                )
             delivery = self._fetch(entry, decision, progress)
             if restart_to:
                 wasted += delivery.bytes_delivered
                 restarts += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ev.ABANDON,
+                        segment=index,
+                        from_quality=decision.quality,
+                        to_quality=restart_to[0],
+                        wasted_bytes=delivery.bytes_delivered,
+                    )
                 decision = Decision(
                     quality=restart_to[0],
                     unreliable=decision.unreliable,
@@ -390,7 +488,7 @@ class StreamingSession:
             self.buffer.drain(min(self.buffer.level_s, elapsed))
         else:
             stall = self.buffer.drain(elapsed)
-            self._total_stall += stall
+            self._record_stall(stall, index)
 
         if elapsed > 0:
             # Exclude request round trips: the sample should reflect the
@@ -401,6 +499,37 @@ class StreamingSession:
                 self._throughput_samples.append(sample)
 
         self.buffer.push_segment(self.segment_duration)
+
+        lost_bytes = sum(
+            end - start for start, end in delivery.lost_intervals
+        )
+        if self.tracer.enabled:
+            if truncated:
+                self.tracer.emit(
+                    ev.TRUNCATE,
+                    segment=index,
+                    quality=decision.quality,
+                    bytes_requested=delivery.bytes_requested,
+                    wire_bytes=total_wire,
+                )
+            self.tracer.emit(
+                ev.DOWNLOAD_END,
+                segment=index,
+                quality=decision.quality,
+                bytes_requested=delivery.bytes_requested,
+                bytes_delivered=delivery.bytes_delivered,
+                elapsed=elapsed,
+                truncated=truncated,
+                restarts=restarts,
+                lost_bytes=lost_bytes,
+                stall=stall,
+            )
+            self.tracer.emit(
+                ev.BUFFER_SAMPLE,
+                segment=index,
+                level_s=self.buffer.level_s,
+                capacity_s=self.buffer.capacity_s,
+            )
 
         score = self._score_delivery(decision.quality, index, delivery)
         segment = self.prepared.video.segment(decision.quality, index)
@@ -422,14 +551,13 @@ class StreamingSession:
             skipped_frame_count=len(delivery.skipped_frames),
             dropped_referenced_frames=dropped_ref,
             corruption_frames=len(delivery.corruption),
-            lost_bytes=sum(
-                end - start for start, end in delivery.lost_intervals
-            ),
+            lost_bytes=lost_bytes,
             repaired_bytes=0,
             residual_loss_bytes=delivery.residual_loss_bytes(),
             restarts=restarts,
             truncated=truncated,
             wasted_bytes=wasted,
+            segment_duration=self.segment_duration,
         )
         if delivery.lost_intervals and self.http.voxel_capable:
             self._pending_repairs.append(
@@ -556,10 +684,11 @@ class StreamingSession:
         segment = self.prepared.video.segment(quality, index)
         dropped = [f for f in delivery.dropped_frames if f != 0]
         corruption = delivery.partial_frames
-        result = decode_segment(
-            segment,
-            params=self.prepared.params,
-            dropped=dropped,
-            corruption=corruption,
-        )
+        with timed("decode_segment"):
+            result = decode_segment(
+                segment,
+                params=self.prepared.params,
+                dropped=dropped,
+                corruption=corruption,
+            )
         return result.score

@@ -24,6 +24,10 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.network.clock import Clock
 from repro.network.link import BottleneckLink
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+from repro.obs.profiling import timed
+from repro.obs.tracer import NULL_TRACER
 from repro.transport.cubic import CubicController
 
 ByteInterval = Tuple[int, int]  # (start, end), end exclusive
@@ -93,18 +97,26 @@ class QuicConnection:
         link: BottleneckLink,
         clock: Optional[Clock] = None,
         partially_reliable: bool = True,
+        tracer=None,
     ):
         self.link = link
         self.clock = clock if clock is not None else Clock()
         self.partially_reliable = partially_reliable
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cc = CubicController()
         self._last_active: Optional[float] = None
         # Lifetime counters for experiment accounting.
         self.total_delivered = 0
         self.total_lost = 0
         self.total_retransmitted = 0
+        registry = get_registry()
+        self._ctr_rounds = registry.counter("transport.rounds")
+        self._ctr_delivered = registry.counter("transport.bytes_delivered")
+        self._ctr_lost = registry.counter("transport.bytes_lost")
+        self._ctr_retx = registry.counter("transport.bytes_retransmitted")
 
     # ------------------------------------------------------------------
+    @timed("transport.download")
     def download(
         self,
         nbytes: int,
@@ -190,6 +202,23 @@ class QuicConnection:
                     )
             sent_new += sent_bytes
 
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.TRANSPORT_ROUND,
+                    round=rounds,
+                    rtt=outcome.rtt,
+                    offered=burst,
+                    dropped=dropped,
+                    cwnd=float(self.cc.cwnd),
+                )
+                if dropped:
+                    self.tracer.emit(
+                        ev.PACKET_LOSS,
+                        dropped_packets=dropped,
+                        lost_bytes=0 if reliable else sent_bytes - ok_bytes,
+                        reliable=reliable,
+                    )
+
             # Retransmission accounting (reliable only).
             if retx_packets:
                 retx_sent = min(retx_packets * payload, retx_queue)
@@ -197,6 +226,7 @@ class QuicConnection:
                 delivered += retx_ok
                 retx_queue -= retx_ok
                 self.total_retransmitted += retx_ok
+                self._ctr_retx.inc(retx_ok)
 
             queue_limit = self.link.queue_packets * self.link.mtu
             pressure = (
@@ -222,6 +252,11 @@ class QuicConnection:
         lost_intervals = _merge_intervals(lost_intervals)
         self.total_delivered += delivered
         self.total_lost += sum(end - start for start, end in lost_intervals)
+        self._ctr_rounds.inc(rounds)
+        self._ctr_delivered.inc(delivered)
+        self._ctr_lost.inc(
+            sum(end - start for start, end in lost_intervals)
+        )
         truncated = limit if limit < nbytes else None
         return DownloadResult(
             requested=limit,

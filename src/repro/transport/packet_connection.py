@@ -20,6 +20,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.network.clock import Clock
 from repro.network.events import EventScheduler
 from repro.network.packetlink import MTU, Packet, PacketRouter
+from repro.obs import events as ev
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import NULL_TRACER
 from repro.transport.connection import (
     ByteInterval,
     DownloadResult,
@@ -47,13 +50,18 @@ class PacketLevelConnection:
         scheduler: EventScheduler,
         clock: Optional[Clock] = None,
         partially_reliable: bool = True,
+        tracer=None,
     ):
         self.router = router
         self.scheduler = scheduler
         self.clock = clock if clock is not None else Clock(scheduler.now)
         self.partially_reliable = partially_reliable
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cc = CubicController()
         self._payload = max(int(MTU * PAYLOAD_FRACTION), 1)
+        registry = get_registry()
+        self._ctr_delivered = registry.counter("transport.bytes_delivered")
+        self._ctr_lost = registry.counter("transport.bytes_lost")
 
         # Per-download state (reset in download()).
         self._reliable = True
@@ -109,6 +117,7 @@ class PacketLevelConnection:
         size = self._bytes_at(offset)
         self._delivered_bytes += size
         self.total_delivered += size
+        self._ctr_delivered.inc(size)
         # ACK path: per-ACK window growth approximated by crediting a
         # fraction of a round per delivered packet.
         rtt = 2 * self.router.propagation_s + 0.002
@@ -147,6 +156,15 @@ class PacketLevelConnection:
         else:
             self._lost.append((offset, offset + size))
             self.total_lost += size
+            self._ctr_lost.inc(size)
+        if self.tracer.enabled:
+            self.tracer.emit_at(
+                self.scheduler.now,
+                ev.PACKET_LOSS,
+                dropped_packets=1,
+                lost_bytes=0 if self._reliable else size,
+                reliable=self._reliable,
+            )
         # One multiplicative decrease per RTT worth of losses.
         now = self.scheduler.now
         rtt = 2 * self.router.propagation_s

@@ -153,3 +153,83 @@ class TestReport:
         }
         text = render("nested", result)
         assert "grp:" in text and "scalar: 3" in text and "top:" in text
+
+
+class TestObservabilityCli:
+    def test_trace_out_and_inspect(self, tmp_path, capsys):
+        path = tmp_path / "session.jsonl"
+        code = main([
+            "stream", "bbb", "--trace", "constant:10.5",
+            "--trace-out", str(path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err and path.exists()
+
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "schema v1" in out and "bufRatio" in out
+
+        assert main(["trace", str(path), "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "per-segment timeline" in out
+
+        assert main(["trace", str(path), "--type", "abr_decision",
+                     "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count('"type":"abr_decision"') == 2
+
+    def test_trace_json_summary(self, tmp_path, capsys):
+        path = tmp_path / "session.jsonl"
+        main(["stream", "bbb", "--trace", "constant:10.5",
+              "--trace-out", str(path)])
+        capsys.readouterr()
+        assert main(["--json", "trace", str(path)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema_version"] == 1
+        assert data["session"]["video"] == "bbb"
+
+    def test_trace_missing_file(self, capsys):
+        assert main(["trace", "/nonexistent/nope.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert main(["trace", str(bad)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_stream_metrics_flag(self, capsys):
+        from repro.obs import enable_profiling, reset_registry
+
+        reset_registry()
+        try:
+            code = main([
+                "stream", "bbb", "--trace", "constant:10.5", "--metrics",
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "=== metrics ===" in out
+            assert "transport.rounds" in out
+            assert "=== timing ===" in out
+            assert "timing.decode_segment" in out
+        finally:
+            enable_profiling(False)
+            reset_registry()
+
+    def test_unknown_video_exits_2(self, capsys):
+        assert main(["stream", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown video" in err and "Traceback" not in err
+
+    def test_unknown_abr_exits_2(self, capsys):
+        assert main(["stream", "bbb", "--abr", "nosuch"]) == 2
+        assert "unknown ABR" in capsys.readouterr().err
+
+    def test_unknown_trace_exits_2(self, capsys):
+        assert main(["stream", "bbb", "--trace", "nosuch"]) == 2
+        assert "unknown trace" in capsys.readouterr().err
+
+    def test_unknown_video_in_prepare_exits_2(self, capsys):
+        assert main(["prepare", "nosuch"]) == 2
+        assert "unknown video" in capsys.readouterr().err

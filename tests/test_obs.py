@@ -1,0 +1,408 @@
+"""Tests for the observability layer: tracer, metrics, profiling, inspector."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.abr import make_abr
+from repro.obs import (
+    EVENT_FIELDS,
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    SchemaError,
+    TraceEvent,
+    Tracer,
+    enable_profiling,
+    get_registry,
+    profiling_enabled,
+    read_jsonl,
+    reset_registry,
+    timed,
+    timing_summary,
+)
+from repro.obs import events as ev
+from repro.obs import inspect as trace_inspect
+from repro.player.session import SessionConfig, StreamingSession
+
+
+def _run_traced(prepared, trace, abr_name="abr_star", **cfg_kwargs):
+    tracer = Tracer()
+    abr = make_abr(abr_name, prepared=prepared)
+    config = SessionConfig(buffer_segments=2, **cfg_kwargs)
+    session = StreamingSession(prepared, abr, trace, config, tracer=tracer)
+    metrics = session.run()
+    return metrics, tracer
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_nearest_rank_percentiles(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == 50.0
+        assert h.percentile(90) == 90.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+
+    def test_small_sample(self):
+        h = Histogram()
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.percentile(50) == 2.0
+        assert h.percentile(99) == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_out_of_range_percentile(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_summary_keys(self):
+        h = Histogram()
+        h.observe(5.0)
+        s = h.summary()
+        assert set(s) == {"count", "sum", "mean", "p50", "p90", "p99"}
+        assert s["count"] == 1.0 and s["sum"] == 5.0
+
+
+class TestRegistry:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(4.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == 3.0
+
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", abr="bola")
+        b = reg.counter("x", abr="bola")
+        c = reg.counter("x", abr="beta")
+        assert a is b and a is not c
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", abr="bola", trace="verizon")
+        b = reg.counter("x", trace="verizon", abr="bola")
+        assert a is b
+
+    def test_dump_and_render(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", abr="bola").inc(3)
+        reg.gauge("depth").set(7)
+        reg.histogram("lat").observe(0.5)
+        snap = reg.dump()
+        assert snap["counters"]["hits{abr=bola}"] == 3.0
+        assert snap["gauges"]["depth"] == 7.0
+        assert snap["histograms"]["lat"]["count"] == 1.0
+        text = reg.render()
+        assert "counter   hits{abr=bola} = 3" in text
+        assert "gauge     depth = 7" in text
+        assert reg.render(prefix="hits").count("\n") == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.dump()["counters"] == {}
+
+    def test_default_registry(self):
+        reset_registry()
+        get_registry().counter("probe").inc()
+        assert get_registry().dump()["counters"]["probe"] == 1.0
+        reset_registry()
+        assert "probe" not in get_registry().dump()["counters"]
+
+
+class TestEventSchema:
+    def test_roundtrip(self):
+        event = TraceEvent(
+            seq=3, t=1.25, type=ev.STALL,
+            fields={"duration": 0.5, "segment": 7},
+        )
+        event.validate()
+        restored = TraceEvent.from_json(event.to_json())
+        assert restored == event
+
+    def test_json_is_deterministic(self):
+        event = TraceEvent(
+            seq=0, t=0.0, type=ev.STALL,
+            fields={"segment": 1, "duration": 0.25},
+        )
+        assert event.to_json() == event.to_json()
+        assert json.loads(event.to_json())["v"] == SCHEMA_VERSION
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            TraceEvent(seq=0, t=0.0, type="nope", fields={}).validate()
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(SchemaError):
+            TraceEvent(
+                seq=0, t=0.0, type=ev.STALL, fields={"duration": 1.0}
+            ).validate()
+
+    def test_extra_field_rejected(self):
+        with pytest.raises(SchemaError):
+            TraceEvent(
+                seq=0, t=0.0, type=ev.STALL,
+                fields={"duration": 1.0, "segment": 0, "bogus": 1},
+            ).validate()
+
+    def test_wrong_version_rejected(self):
+        line = json.dumps({
+            "v": SCHEMA_VERSION + 1, "seq": 0, "t": 0.0,
+            "type": ev.STALL, "duration": 1.0, "segment": 0,
+        })
+        with pytest.raises(SchemaError):
+            TraceEvent.from_json(line)
+
+    def test_every_type_has_fields(self):
+        for type_, fields in EVENT_FIELDS.items():
+            assert isinstance(fields, tuple), type_
+
+
+class TestTracer:
+    def test_emit_validates(self):
+        tracer = Tracer()
+        with pytest.raises(SchemaError):
+            tracer.emit(ev.STALL, duration=1.0)  # missing segment
+
+    def test_ring_buffer_overflow(self):
+        tracer = Tracer(capacity=4, validate=False)
+        for i in range(10):
+            tracer.emit_at(float(i), ev.STALL, duration=0.0, segment=i)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert tracer.events[0].fields["segment"] == 6
+
+    def test_emit_at_overrides_clock(self):
+        tracer = Tracer()
+        event = tracer.emit_at(42.0, ev.STALL, duration=0.0, segment=0)
+        assert event.t == 42.0
+
+    def test_write_and_read_jsonl(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit(ev.STALL, duration=0.5, segment=2)
+        tracer.emit(ev.PACKET_LOSS, dropped_packets=1, lost_bytes=1500,
+                    reliable=False)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(str(path)) == 2
+        restored = read_jsonl(str(path))
+        assert restored == tracer.events
+
+    def test_write_to_file_object(self):
+        tracer = Tracer()
+        tracer.emit(ev.STALL, duration=0.5, segment=2)
+        sink = io.StringIO()
+        tracer.write_jsonl(sink)
+        assert read_jsonl(io.StringIO(sink.getvalue())) == tracer.events
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(ev.STALL, duration=0.5, segment=2)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.to_jsonl() == ""
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.emit(ev.STALL, duration=1.0)  # no validation, no state
+        NULL_TRACER.emit_at(0.0, "whatever")
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.events == []
+        assert NULL_TRACER.write_jsonl("/nonexistent/ignored") == 0
+
+    def test_null_tracer_shared(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestSessionTracing:
+    def test_trace_content(self, tiny_prepared, verizon):
+        metrics, tracer = _run_traced(tiny_prepared, verizon)
+        events = tracer.events
+
+        starts = [e for e in events if e.type == ev.SESSION_START]
+        ends = [e for e in events if e.type == ev.SESSION_END]
+        assert len(starts) == 1 and len(ends) == 1
+        assert starts[0].fields["video"] == tiny_prepared.name
+        assert starts[0].fields["abr"] == "abr_star"
+        assert ends[0].fields["segments"] == len(metrics.records)
+        assert ends[0].fields["buf_ratio"] == pytest.approx(
+            metrics.buf_ratio
+        )
+
+        decisions = tracer.select(ev.ABR_DECISION)
+        decided = {e.fields["segment"] for e in decisions}
+        assert decided == set(range(len(metrics.records)))
+
+        downloads = tracer.select(ev.DOWNLOAD_END)
+        assert len(downloads) == len(metrics.records)
+        for event, record in zip(downloads, metrics.records):
+            assert event.fields["segment"] == record.index
+            assert event.fields["bytes_delivered"] == record.bytes_delivered
+
+        assert tracer.select(ev.TRANSPORT_ROUND)
+        assert len(tracer.select(ev.BUFFER_SAMPLE)) == len(metrics.records)
+
+    def test_timestamps_monotone(self, tiny_prepared, verizon):
+        _, tracer = _run_traced(tiny_prepared, verizon)
+        times = [e.t for e in tracer.events]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+        seqs = [e.seq for e in tracer.events]
+        assert seqs == list(range(len(seqs)))
+
+    def test_deterministic_trace(self, tiny_prepared, verizon):
+        _, first = _run_traced(tiny_prepared, verizon)
+        _, second = _run_traced(tiny_prepared, verizon)
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_disabled_by_default(self, tiny_prepared, verizon):
+        abr = make_abr("abr_star", prepared=tiny_prepared)
+        session = StreamingSession(
+            tiny_prepared, abr, verizon, SessionConfig(buffer_segments=2)
+        )
+        assert session.tracer is NULL_TRACER
+        session.run()
+        assert len(session.tracer) == 0
+
+    def test_tracing_does_not_change_results(self, tiny_prepared, verizon):
+        traced, _ = _run_traced(tiny_prepared, verizon)
+        abr = make_abr("abr_star", prepared=tiny_prepared)
+        plain = StreamingSession(
+            tiny_prepared, abr, verizon, SessionConfig(buffer_segments=2)
+        ).run()
+        assert traced.summary() == plain.summary()
+
+    def test_stall_events_account_for_total_stall(self):
+        from repro.prep.prepare import get_prepared
+        from repro.network.traces import get_trace
+
+        tracer = Tracer()
+        prepared = get_prepared("bbb")
+        abr = make_abr("bola", prepared=prepared)
+        session = StreamingSession(
+            prepared, abr, get_trace("tmobile"),
+            SessionConfig(buffer_segments=2), tracer=tracer,
+        )
+        metrics = session.run()
+        stalls = tracer.select(ev.STALL)
+        assert metrics.total_stall > 0
+        assert sum(e.fields["duration"] for e in stalls) == pytest.approx(
+            metrics.total_stall
+        )
+
+    def test_packet_backend_traces(self, tiny_prepared, verizon):
+        _, tracer = _run_traced(
+            tiny_prepared, verizon, transport_backend="packet"
+        )
+        assert tracer.select(ev.SESSION_END)
+        times = [e.t for e in tracer.events]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+
+class TestProfiling:
+    def teardown_method(self):
+        enable_profiling(False)
+        reset_registry()
+
+    def test_disabled_records_nothing(self):
+        reset_registry()
+        enable_profiling(False)
+        with timed("probe.block"):
+            pass
+        assert get_registry().dump()["histograms"] == {}
+        assert "no samples" in timing_summary()
+
+    def test_context_manager(self):
+        reset_registry()
+        enable_profiling(True)
+        assert profiling_enabled()
+        with timed("probe.block"):
+            pass
+        hist = get_registry().histogram("timing.probe.block")
+        assert hist.count == 1
+        assert hist.mean >= 0.0
+
+    def test_decorator(self):
+        reset_registry()
+        enable_profiling(True)
+
+        @timed("probe.func")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert work(2) == 3
+        assert get_registry().histogram("timing.probe.func").count == 2
+
+    def test_summary_render(self):
+        reset_registry()
+        enable_profiling(True)
+        with timed("probe.block"):
+            pass
+        assert "timing.probe.block" in timing_summary()
+
+
+class TestInspect:
+    @pytest.fixture(scope="class")
+    def traced(self, tiny_prepared):
+        from repro.network.traces import verizon_trace
+
+        return _run_traced(tiny_prepared, verizon_trace())
+
+    def test_summarize(self, traced):
+        metrics, tracer = traced
+        summary = trace_inspect.summarize(tracer.events)
+        assert summary["schema_version"] == SCHEMA_VERSION
+        assert summary["events"] == len(tracer)
+        assert summary["session"]["video"] == metrics.video
+        assert summary["result"]["buf_ratio"] == pytest.approx(
+            metrics.buf_ratio
+        )
+        assert summary["abr_decisions"] >= len(metrics.records)
+
+    def test_timeline(self, traced):
+        metrics, tracer = traced
+        rows = trace_inspect.timeline(tracer.events)
+        assert [row["segment"] for row in rows] == [
+            r.index for r in metrics.records
+        ]
+        for row, record in zip(rows, metrics.records):
+            assert row["quality"] == record.quality
+            assert row["bytes"] == record.bytes_delivered
+
+    def test_format_helpers(self, traced):
+        _, tracer = traced
+        summary = trace_inspect.summarize(tracer.events)
+        rows = trace_inspect.timeline(tracer.events)
+        assert "events by type" in trace_inspect.format_summary(summary)
+        assert "segment" in trace_inspect.format_timeline(rows)
+
+    def test_empty_trace(self):
+        summary = trace_inspect.summarize([])
+        assert summary["events"] == 0
+        assert trace_inspect.timeline([]) == []
