@@ -7,6 +7,9 @@
     python -m repro stream bbb --abr abr_star --trace verizon --buffer 2
     python -m repro stream bbb --trace-out trace.jsonl   # + session trace
     python -m repro trace trace.jsonl         # inspect a recorded trace
+    python -m repro trace trace.jsonl --check # audit trace invariants
+    python -m repro bench --quick             # benchmark suite
+    python -m repro bench --compare BENCH_main.json --threshold 10
     python -m repro compare bbb --trace tmobile --buffer 1
     python -m repro figure fig6 --light       # regenerate a paper figure
     python -m repro survey                    # the simulated user study
@@ -81,6 +84,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     tracer = None
     trace_sink = None
+    auditor = None
     if args.trace_out:
         from repro.obs import Tracer
 
@@ -92,6 +96,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         tracer = Tracer()
+    if args.check_invariants:
+        from repro.obs import TraceAuditor, Tracer
+
+        # Inline audit: the auditor observes every event as it is
+        # emitted, so even events later evicted from the ring buffer
+        # are checked.
+        if tracer is None:
+            tracer = Tracer()
+        auditor = TraceAuditor()
+        tracer.add_observer(auditor.feed)
     prepared = prepare_video(args.video)
     abr_kwargs: Dict = {}
     if args.bandwidth_safety is not None:
@@ -107,11 +121,18 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         abr_kwargs=abr_kwargs or None,
         tracer=tracer,
     )
-    if tracer is not None:
+    if trace_sink is not None:
         written = tracer.write_jsonl(trace_sink)
         trace_sink.close()
         print(f"wrote {written} events to {args.trace_out}",
               file=sys.stderr)
+    audit_failed = False
+    if auditor is not None:
+        from repro.obs import format_report
+
+        report = auditor.finalize()
+        print(format_report(report), file=sys.stderr)
+        audit_failed = not report.ok
     summary = result.summary()
     if args.json:
         if getattr(args, "metrics", False):
@@ -119,7 +140,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
             summary = dict(summary, metrics=get_registry().dump())
         print(json.dumps(summary, indent=2))
-        return 0
+        return 1 if audit_failed else 0
     metrics = result.metrics
     print(f"{args.video} / {args.abr} / {args.trace} / "
           f"{args.buffer}-segment buffer "
@@ -132,7 +153,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     print(f"  residual loss  {metrics.residual_loss_fraction * 100:7.2f} %")
     print(f"  switches       {metrics.quality_switches:7d}")
     _maybe_print_metrics(args)
-    return 0
+    return 1 if audit_failed else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -146,6 +167,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"error: cannot read trace {args.file!r}: {exc}",
               file=sys.stderr)
         return 2
+    if args.check:
+        from repro.obs import audit_events, format_report
+
+        report = audit_events(events)
+        if args.json:
+            print(json.dumps({
+                "events": report.events,
+                "ok": report.ok,
+                "violations": [
+                    {
+                        "invariant": v.invariant,
+                        "index": v.index,
+                        "seq": v.seq,
+                        "t": v.t,
+                        "message": v.message,
+                    }
+                    for v in report.violations
+                ],
+            }, indent=2))
+        else:
+            print(format_report(report))
+        return 0 if report.ok else 1
     if args.type is not None:
         selected = trace_inspect.filter_events(events, args.type)
         limited = selected[: args.limit] if args.limit > 0 else selected
@@ -305,6 +348,45 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+    from repro.obs import regression
+
+    if args.input:
+        try:
+            payload = regression.load_payload(args.input)
+        except (OSError, regression.BenchFormatError) as exc:
+            print(f"error: cannot read bench payload {args.input!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        payload = bench.run_suite(
+            quick=args.quick, seed=args.seed, label=args.label
+        )
+        out_path = args.out or bench.default_output_path(args.label)
+        bench.write_payload(payload, out_path)
+        print(f"wrote {out_path}", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(bench.format_suite(payload))
+
+    if args.compare is None:
+        return 0
+    try:
+        baseline = regression.load_payload(args.compare)
+    except (OSError, regression.BenchFormatError) as exc:
+        print(f"error: cannot read baseline {args.compare!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    comparison = regression.compare_payloads(
+        baseline, payload, threshold_pct=args.threshold
+    )
+    print(regression.format_comparison(comparison))
+    return 1 if comparison.failed else 0
+
+
 def _cmd_survey(args: argparse.Namespace) -> int:
     from repro.experiments.survey import DIMENSIONS, fig14_survey
 
@@ -368,6 +450,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stream.add_argument("--metrics", action="store_true",
                           help="print the metrics registry after the run")
+    p_stream.add_argument(
+        "--check-invariants", action="store_true",
+        help="audit trace invariants inline during the session; "
+        "exit 1 on any violation",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="inspect a JSONL session trace"
@@ -379,6 +466,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reconstruct the per-segment timeline")
     p_trace.add_argument("--limit", type=int, default=0,
                          help="cap the number of events printed by --type")
+    p_trace.add_argument(
+        "--check", action="store_true",
+        help="audit the trace against the invariant catalog; "
+        "exit 1 on any violation",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="run the benchmark suite / compare against a baseline"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="reduced repeats and tiny synthetic workload")
+    p_bench.add_argument("--label", default="local",
+                         help="label embedded in the payload and filename")
+    p_bench.add_argument("--out", default=None, metavar="PATH",
+                         help="output path (default BENCH_<label>.json)")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare against a baseline BENCH_*.json; exit 1 on "
+        "regression or missing benchmark",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="regression threshold in percent (default 10)",
+    )
+    p_bench.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="compare a previously recorded payload instead of "
+        "running the suite",
+    )
 
     p_compare = sub.add_parser(
         "compare", help="BOLA vs BETA vs VOXEL on one scenario"
@@ -420,6 +537,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "figure": _cmd_figure,
     "survey": _cmd_survey,
+    "bench": _cmd_bench,
 }
 
 

@@ -22,7 +22,7 @@ from repro.network.crosstraffic import (
     generate_cross_demand,
 )
 from repro.network.traces import NetworkTrace, get_trace
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, scoped_registry
 from repro.obs.profiling import timed
 from repro.player.metrics import SessionMetrics, percentile_across, stderr_across
 from repro.player.session import SessionConfig, StreamingSession
@@ -58,6 +58,10 @@ class TrialSummary:
 
     config: ExperimentConfig
     sessions: List[SessionMetrics]
+    # Metrics-registry dump scoped to this trial's sessions only (no
+    # bleed-over from earlier trials in the process); None when the
+    # trial was built by hand.
+    metrics: Optional[Dict] = None
 
     @property
     def buf_ratio_p90(self) -> float:
@@ -162,12 +166,17 @@ def run_trials(
     trace = _resolve_trace(config)
     reps = max(config.repetitions, 1)
     shift_step = trace.duration / reps
-    sessions = [
-        run_single(config, shift_s=i * shift_step, prepared=prepared,
-                   trace=trace)
-        for i in range(reps)
-    ]
-    return TrialSummary(config=config, sessions=sessions)
+    # Each trial runs inside its own registry scope so its metrics dump
+    # reflects only these sessions; the scope merges back into the
+    # parent on exit, keeping process-wide totals intact.
+    with scoped_registry() as registry:
+        sessions = [
+            run_single(config, shift_s=i * shift_step, prepared=prepared,
+                       trace=trace)
+            for i in range(reps)
+        ]
+        metrics = registry.dump()
+    return TrialSummary(config=config, sessions=sessions, metrics=metrics)
 
 
 def compare(

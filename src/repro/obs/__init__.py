@@ -19,9 +19,18 @@ Usage::
 from repro.obs.events import (
     EVENT_FIELDS,
     EVENT_TYPES,
+    OPTIONAL_FIELDS,
     SCHEMA_VERSION,
     SchemaError,
     TraceEvent,
+)
+from repro.obs.invariants import (
+    INVARIANTS,
+    AuditReport,
+    TraceAuditor,
+    Violation,
+    audit_events,
+    format_report,
 )
 from repro.obs.metrics import (
     Counter,
@@ -30,6 +39,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
     reset_registry,
+    scoped_registry,
 )
 from repro.obs.profiling import (
     enable_profiling,
@@ -42,15 +52,23 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, read_jsonl
 __all__ = [
     "EVENT_FIELDS",
     "EVENT_TYPES",
+    "OPTIONAL_FIELDS",
     "SCHEMA_VERSION",
     "SchemaError",
     "TraceEvent",
+    "INVARIANTS",
+    "AuditReport",
+    "TraceAuditor",
+    "Violation",
+    "audit_events",
+    "format_report",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "get_registry",
     "reset_registry",
+    "scoped_registry",
     "enable_profiling",
     "profiling_enabled",
     "timed",

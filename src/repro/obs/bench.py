@@ -1,0 +1,271 @@
+"""Continuous benchmark suite: the repo's performance trajectory.
+
+``repro bench`` runs a deterministic suite of micro benchmarks (one hot
+function at a time, timed through the :mod:`repro.obs.profiling` hooks
+into a scoped metrics registry) and macro benchmarks (full seeded
+streaming sessions per transport backend, traced) and emits a
+schema-versioned ``BENCH_<label>.json``.  Committing one per milestone
+and diffing with ``repro bench --compare`` turns "did this PR slow the
+simulator down?" into a CI check (:mod:`repro.obs.regression`).
+
+Wall times are inherently machine-dependent; the suite therefore also
+records machine-independent *throughput* figures — simulated seconds per
+wall second and trace events per second — which are the numbers worth
+tracking across hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import scoped_registry
+from repro.obs.profiling import enable_profiling, profiling_enabled, timed
+from repro.obs.tracer import Tracer
+
+#: Version of the BENCH_*.json layout.  Adding a benchmark or a field is
+#: backward compatible; renaming or removing one bumps this.
+BENCH_SCHEMA_VERSION = 1
+
+#: Synthetic workload for quick runs and the packet backend: mirrors the
+#: test suite's tiny video (6 segments, full 13-level ladder) so a quick
+#: bench costs seconds, not minutes.
+_TINY_PROFILE_KWARGS = dict(
+    name="benchtiny",
+    title="Bench Tiny Video",
+    genre="Bench",
+    segments=6,
+    motion_mean=0.4,
+    motion_spread=0.2,
+    complexity=0.5,
+    scene_cut_rate=1.0,
+    size_std_mbps=3.0,
+    static_fraction=0.15,
+)
+
+
+def default_output_path(label: str) -> str:
+    return f"BENCH_{label}.json"
+
+
+def _tiny_prepared():
+    from repro.prep.prepare import prepare
+    from repro.video.content import ContentProfile
+    from repro.video.encoder import encode_video
+
+    return prepare(encode_video(ContentProfile(**_TINY_PROFILE_KWARGS)))
+
+
+def _timed_loop(name: str, repeats: int, fn) -> Dict[str, float]:
+    """Run ``fn`` ``repeats`` times under a profiling hook; report stats.
+
+    The timings flow through ``timed()`` into a scoped registry — the
+    same pipeline the ``--metrics`` flag uses — so the benchmark measures
+    exactly what production profiling measures.
+    """
+    was_enabled = profiling_enabled()
+    with scoped_registry(merge=False) as registry:
+        enable_profiling(True)
+        try:
+            for _ in range(repeats):
+                with timed(f"bench.{name}"):
+                    fn()
+        finally:
+            enable_profiling(was_enabled)
+        hist = registry.histogram(f"timing.bench.{name}")
+        summary = hist.summary()
+    return {
+        "kind": "micro",
+        "repeats": repeats,
+        "wall_s": summary["sum"],
+        "per_call_s": summary["mean"],
+        "p50_s": summary["p50"],
+        "p90_s": summary["p90"],
+    }
+
+
+# ---------------------------------------------------------------------------
+def _bench_decode_segment(prepared, repeats: int) -> Dict[str, float]:
+    from repro.qoe.model import decode_segment
+
+    top = prepared.manifest.num_levels - 1
+    segment = prepared.video.segment(top, 0)
+    # Drop a couple of tail frames: the realistic imperfect-delivery case
+    # the decoder model is built for (never frame 0, the I-frame).
+    num_frames = len(segment.frames)
+    dropped = [i for i in range(max(num_frames - 3, 1), num_frames)]
+
+    def call():
+        decode_segment(segment, params=prepared.params, dropped=dropped,
+                       corruption={})
+
+    return _timed_loop("decode_segment", repeats, call)
+
+
+def _bench_abr_choose(prepared, repeats: int) -> Dict[str, float]:
+    from repro.abr import make_abr
+    from repro.network.traces import constant_trace
+    from repro.player.session import SessionConfig, StreamingSession
+
+    abr = make_abr("abr_star", prepared=prepared)
+    session = StreamingSession(
+        prepared, abr, constant_trace(10.0),
+        SessionConfig(buffer_segments=3),
+    )
+    context = session._context(0, None)
+
+    def call():
+        abr.choose(context)
+
+    return _timed_loop("abr_choose", repeats, call)
+
+
+def _bench_transport_round(repeats: int) -> Dict[str, float]:
+    from repro.network.link import BottleneckLink
+    from repro.network.traces import constant_trace
+    from repro.transport.connection import QuicConnection
+
+    connection = QuicConnection(BottleneckLink(constant_trace(10.0)))
+    rounds = [0]
+
+    def call():
+        result = connection.download(500_000, reliable=True)
+        rounds[0] += result.rounds
+
+    stats = _timed_loop("transport_download", repeats, call)
+    total_rounds = max(rounds[0], 1)
+    stats["rounds"] = rounds[0]
+    stats["per_round_s"] = stats["wall_s"] / total_rounds
+    return stats
+
+
+def _bench_session(prepared, backend: str, seed: int) -> Dict[str, float]:
+    from repro.abr import make_abr
+    from repro.network.traces import get_trace
+    from repro.player.session import SessionConfig, StreamingSession
+
+    tracer = Tracer()
+    abr = make_abr("abr_star", prepared=prepared)
+    config = SessionConfig(buffer_segments=3, transport_backend=backend)
+    session = StreamingSession(
+        prepared, abr, get_trace("verizon", seed=seed), config,
+        tracer=tracer,
+    )
+    t0 = time.perf_counter()
+    metrics = session.run()
+    wall = max(time.perf_counter() - t0, 1e-9)
+    events = len(tracer)
+    trace_bytes = len(tracer.to_jsonl())
+    return {
+        "kind": "macro",
+        "workload": prepared.name,
+        "wall_s": wall,
+        "sim_s": metrics.wall_duration,
+        "sim_s_per_wall_s": metrics.wall_duration / wall,
+        "events": events,
+        "events_per_s": events / wall,
+        "peak_trace_bytes": trace_bytes,
+        "segments": len(metrics.records),
+    }
+
+
+# ---------------------------------------------------------------------------
+def run_suite(
+    quick: bool = False,
+    seed: int = 0,
+    label: str = "local",
+    prepared=None,
+) -> Dict[str, object]:
+    """Run the whole suite; returns the BENCH payload (JSON-ready).
+
+    Args:
+        quick: reduced repeat counts and the tiny synthetic workload —
+            for CI and smoke runs.
+        seed: network-trace seed for the macro sessions.
+        label: stamped into the payload (and the default file name).
+        prepared: optionally reuse an already-prepared video as the
+            workload (tests pass their session fixture to avoid
+            re-preparing).
+    """
+    with scoped_registry(merge=False):
+        # The whole suite runs inside one scope: benchmark instrumentation
+        # (sessions, connections) must not pollute the process registry.
+        if prepared is not None:
+            workload = prepared
+            tiny = prepared
+        elif quick:
+            workload = tiny = _tiny_prepared()
+        else:
+            from repro.prep.prepare import get_prepared
+
+            workload = get_prepared("bbb")
+            tiny = _tiny_prepared()
+
+        decode_reps, abr_reps, transport_reps = (
+            (20, 200, 5) if quick or prepared is not None else (100, 1000, 20)
+        )
+        benchmarks: Dict[str, Dict[str, float]] = {}
+        benchmarks["micro.decode_segment"] = _bench_decode_segment(
+            workload, decode_reps
+        )
+        benchmarks["micro.abr_choose"] = _bench_abr_choose(
+            workload, abr_reps
+        )
+        benchmarks["micro.transport_round"] = _bench_transport_round(
+            transport_reps
+        )
+        benchmarks["macro.session.round"] = _bench_session(
+            workload, "round", seed
+        )
+        # The per-packet backend is ~2 orders of magnitude slower; it
+        # always runs on the tiny workload so the suite stays bounded.
+        benchmarks["macro.session.packet"] = _bench_session(
+            tiny, "packet", seed
+        )
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "quick": bool(quick),
+        "seed": seed,
+        "workload": workload.name,
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def write_payload(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_suite(payload: Dict[str, object]) -> str:
+    """Human-readable one-line-per-benchmark rendering."""
+    lines = [
+        f"=== bench {payload['label']} "
+        f"(schema v{payload['schema_version']}, "
+        f"workload {payload['workload']}, "
+        f"{'quick' if payload['quick'] else 'full'}) ==="
+    ]
+    for name, stats in sorted(payload["benchmarks"].items()):
+        if stats["kind"] == "micro":
+            lines.append(
+                f"{name:28s} {stats['wall_s']:9.4f}s total  "
+                f"{stats['per_call_s'] * 1e6:10.1f}us/call  "
+                f"p90 {stats['p90_s'] * 1e6:10.1f}us "
+                f"({stats['repeats']} calls)"
+            )
+        else:
+            lines.append(
+                f"{name:28s} {stats['wall_s']:9.4f}s wall  "
+                f"{stats['sim_s_per_wall_s']:8.1f} sim-s/s  "
+                f"{stats['events_per_s']:10.0f} events/s  "
+                f"trace {stats['peak_trace_bytes'] / 1e3:.1f} kB"
+            )
+    return "\n".join(lines)

@@ -65,6 +65,17 @@ EVENT_FIELDS: Dict[str, tuple] = {
     PACKET_LOSS: ("dropped_packets", "lost_bytes", "reliable"),
 }
 
+#: type -> optional payload fields.  Optional fields may be absent (older
+#: traces) but nothing outside ``required + optional`` is accepted, so
+#: adding one here is a backward-compatible schema extension (no version
+#: bump): old parsers never see it as required, new parsers still reject
+#: genuinely unknown fields.
+OPTIONAL_FIELDS: Dict[str, tuple] = {
+    SESSION_START: ("num_levels",),
+    TRUNCATE: ("reliable_bytes",),
+    TRANSPORT_ROUND: ("inflight",),
+}
+
 EVENT_TYPES = tuple(sorted(EVENT_FIELDS))
 
 
@@ -90,7 +101,11 @@ class TraceEvent:
             raise SchemaError(
                 f"event {self.type!r} missing fields {missing}"
             )
-        extra = [k for k in self.fields if k not in required]
+        optional = OPTIONAL_FIELDS.get(self.type, ())
+        extra = [
+            k for k in self.fields
+            if k not in required and k not in optional
+        ]
         if extra:
             raise SchemaError(
                 f"event {self.type!r} has unknown fields {extra}"

@@ -1,0 +1,448 @@
+"""Trace-driven invariant auditor: cross-layer conservation laws.
+
+The trace of one session is a complete account of what every layer did;
+this module checks that the account balances.  Each invariant encodes a
+contract the paper's design relies on:
+
+* ``monotone_clock`` — simulation time never runs backwards and sequence
+  numbers strictly increase (the premise of every other check).
+* ``buffer_continuity`` — the playback buffer is never negative, never
+  exceeds capacity plus one in-flight segment, and between consecutive
+  segment pushes drains at exactly real-time rate minus recorded stalls
+  (§5's player model).
+* ``byte_conservation`` — per download, delivered + lost bytes equal the
+  bytes requested; nothing is created or silently destroyed at the
+  transport/HTTP boundary (§4.2's unreliable-stream accounting).
+* ``cwnd_compliance`` — QUIC* keeps *unreliable* streams congestion
+  controlled: no transport round offers more packets than the current
+  congestion window allows (§4's "QUIC* stays TCP-friendly").
+* ``stream_limit`` — a download never requests more than the wire bytes
+  announced for the attempt, and never delivers more than it requested
+  (stream offsets respect flow-control limits).
+* ``frame_drop_legality`` — ABR*'s virtual quality levels may only drop
+  frame payloads off the *unreliable tail* of the manifest's frame
+  ordering; truncating into the reliable prefix (I-frame + headers)
+  would produce an undecodable segment (§4.1/§4.3).
+* ``abr_legality`` — decisions walk segments in order, qualities stay
+  inside the ladder, and every download attempt matches the decision (or
+  abandon target) that authorized it.
+* ``stall_accounting`` — the stalls the session reports in
+  ``session_end`` equal the sum of the ``stall`` events, and
+  ``buf_ratio`` is that total over the media duration — the
+  :class:`~repro.player.metrics.SessionMetrics` and the trace agree.
+
+The auditor is incremental: :meth:`TraceAuditor.feed` consumes one event
+at a time, so it can run inline as a tracer observer (catching
+violations even when the ring buffer later evicts the event) or post hoc
+over a parsed JSONL file via :func:`audit_events` / ``repro trace
+--check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import events as ev
+from repro.obs.events import TraceEvent
+
+#: Tolerance for float conservation checks.  Buffer levels and stall
+#: totals are chains of clock differences; accumulated rounding is
+#: ~1e-13 over hundreds of simulated seconds, so 1e-6 separates real
+#: accounting bugs from float noise by seven orders of magnitude.
+FLOAT_TOLERANCE = 1e-6
+
+#: Invariant name -> one-line law (the catalog ``--check`` reports from).
+INVARIANTS: Dict[str, str] = {
+    "monotone_clock": "simulation time and sequence numbers never move backwards",
+    "buffer_continuity": "playback buffer stays within [0, capacity + 1 segment] and drains at real-time rate minus stalls",
+    "byte_conservation": "bytes delivered + bytes lost = bytes requested for every download",
+    "cwnd_compliance": "no transport round offers more packets than the congestion window",
+    "stream_limit": "downloads never exceed the announced wire bytes nor deliver more than requested",
+    "frame_drop_legality": "truncations keep at least the reliable prefix and at most the announced wire bytes",
+    "abr_legality": "decisions walk segments in order with ladder-legal qualities matching each download attempt",
+    "stall_accounting": "session_end stall totals and bufRatio equal the sum of stall events",
+}
+
+
+@dataclass
+class Violation:
+    """One broken invariant, pinned to the event that exposed it."""
+
+    invariant: str
+    index: int  # position in the audited stream (0-based)
+    seq: int
+    t: float
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.invariant}] event #{self.index} (seq {self.seq}, "
+            f"t={self.t:.6f}s): {self.message}"
+        )
+
+
+@dataclass
+class AuditReport:
+    """Outcome of auditing one event stream."""
+
+    events: int
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class TraceAuditor:
+    """Feed trace events in order; collects :class:`Violation` objects.
+
+    Stateless inputs, stateful checks: the auditor reconstructs the
+    session's buffer, stall, and per-segment download state from the
+    stream alone, so it needs no access to the live session — a recorded
+    JSONL file audits identically to an inline run.
+    """
+
+    def __init__(self, tolerance: float = FLOAT_TOLERANCE):
+        self.tolerance = tolerance
+        self.violations: List[Violation] = []
+        self._index = -1
+        self._last_seq: Optional[int] = None
+        self._last_t: Optional[float] = None
+        # Session parameters (from session_start, when present).
+        self._segment_duration: Optional[float] = None
+        self._capacity_s: Optional[float] = None
+        self._num_segments: Optional[int] = None
+        self._num_levels: Optional[int] = None
+        # Buffer-continuity state.
+        self._last_sample: Optional[TraceEvent] = None
+        self._stall_since_sample = 0.0
+        # Stall-accounting state.
+        self._stall_total = 0.0
+        self._sample_count = 0
+        # ABR / download state.
+        self._last_decided_segment: Optional[int] = None
+        self._decided_quality: Dict[int, int] = {}
+        self._abandon_quality: Dict[int, int] = {}
+        self._wire_bytes: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _flag(self, invariant: str, event: TraceEvent, message: str) -> None:
+        self.violations.append(Violation(
+            invariant=invariant, index=self._index, seq=event.seq,
+            t=event.t, message=message,
+        ))
+
+    # ------------------------------------------------------------------
+    def feed(self, event: TraceEvent) -> None:
+        """Audit one event (events must arrive in stream order)."""
+        self._index += 1
+        self._check_clock(event)
+        handler = self._HANDLERS.get(event.type)
+        if handler is not None:
+            handler(self, event)
+
+    def finalize(self) -> AuditReport:
+        """Close the audit and return the report."""
+        return AuditReport(
+            events=self._index + 1, violations=list(self.violations)
+        )
+
+    # -- universal ------------------------------------------------------
+    def _check_clock(self, event: TraceEvent) -> None:
+        if self._last_seq is not None and event.seq <= self._last_seq:
+            self._flag(
+                "monotone_clock", event,
+                f"sequence number {event.seq} does not advance past "
+                f"{self._last_seq}",
+            )
+        if self._last_t is not None and event.t < self._last_t - 1e-12:
+            self._flag(
+                "monotone_clock", event,
+                f"timestamp {event.t:.6f} runs backwards from "
+                f"{self._last_t:.6f}",
+            )
+        self._last_seq = event.seq
+        self._last_t = event.t
+
+    # -- session lifecycle ----------------------------------------------
+    def _on_session_start(self, event: TraceEvent) -> None:
+        f = event.fields
+        self._segment_duration = float(f["segment_duration"])
+        self._capacity_s = float(f["buffer_capacity_s"])
+        self._num_segments = int(f["num_segments"])
+        levels = f.get("num_levels")
+        self._num_levels = int(levels) if levels is not None else None
+        if self._segment_duration <= 0:
+            self._flag("abr_legality", event,
+                       f"segment duration {self._segment_duration} <= 0")
+        if self._capacity_s <= 0:
+            self._flag("buffer_continuity", event,
+                       f"buffer capacity {self._capacity_s} <= 0")
+
+    def _on_session_end(self, event: TraceEvent) -> None:
+        f = event.fields
+        total = float(f["total_stall"])
+        if abs(total - self._stall_total) > self.tolerance:
+            self._flag(
+                "stall_accounting", event,
+                f"session_end reports {total:.6f}s of stall but the "
+                f"trace's stall events sum to {self._stall_total:.6f}s",
+            )
+        if self._num_segments and self._segment_duration:
+            media = self._num_segments * self._segment_duration
+            expected_ratio = total / media
+            if abs(float(f["buf_ratio"]) - expected_ratio) > self.tolerance:
+                self._flag(
+                    "stall_accounting", event,
+                    f"buf_ratio {float(f['buf_ratio']):.6f} != "
+                    f"total_stall/media_duration {expected_ratio:.6f}",
+                )
+        segments = int(f["segments"])
+        if segments != self._sample_count:
+            self._flag(
+                "stall_accounting", event,
+                f"session_end reports {segments} segments but the trace "
+                f"pushed {self._sample_count} buffer samples",
+            )
+
+    # -- player layer ---------------------------------------------------
+    def _on_stall(self, event: TraceEvent) -> None:
+        duration = float(event.fields["duration"])
+        if duration <= 0:
+            self._flag("stall_accounting", event,
+                       f"stall event with non-positive duration {duration}")
+            return
+        self._stall_total += duration
+        self._stall_since_sample += duration
+
+    def _on_buffer_sample(self, event: TraceEvent) -> None:
+        f = event.fields
+        level = float(f["level_s"])
+        capacity = float(f["capacity_s"])
+        self._sample_count += 1
+        if level < -self.tolerance:
+            self._flag("buffer_continuity", event,
+                       f"buffer level {level:.6f}s is negative")
+        seg_dur = self._segment_duration
+        if seg_dur is not None and level > capacity + seg_dur + self.tolerance:
+            self._flag(
+                "buffer_continuity", event,
+                f"buffer level {level:.6f}s exceeds capacity "
+                f"{capacity:.2f}s plus one in-flight segment",
+            )
+        prev = self._last_sample
+        if prev is not None and seg_dur is not None:
+            elapsed = event.t - prev.t
+            drained = elapsed - self._stall_since_sample
+            expected = float(prev.fields["level_s"]) - drained + seg_dur
+            if abs(expected - level) > self.tolerance:
+                self._flag(
+                    "buffer_continuity", event,
+                    f"buffer level {level:.6f}s breaks continuity: "
+                    f"expected {expected:.6f}s "
+                    f"(previous {float(prev.fields['level_s']):.6f}s - "
+                    f"{drained:.6f}s drained + {seg_dur:.2f}s pushed)",
+                )
+        self._last_sample = event
+        self._stall_since_sample = 0.0
+
+    # -- ABR layer ------------------------------------------------------
+    def _on_abr_decision(self, event: TraceEvent) -> None:
+        f = event.fields
+        segment = int(f["segment"])
+        quality = int(f["quality"])
+        if self._num_segments is not None and not (
+            0 <= segment < self._num_segments
+        ):
+            self._flag("abr_legality", event,
+                       f"decision for out-of-range segment {segment}")
+        if quality < 0 or (
+            self._num_levels is not None and quality >= self._num_levels
+        ):
+            self._flag(
+                "abr_legality", event,
+                f"decision quality {quality} outside the ladder "
+                f"[0, {self._num_levels})",
+            )
+        if (
+            self._last_decided_segment is not None
+            and segment < self._last_decided_segment
+        ):
+            self._flag(
+                "abr_legality", event,
+                f"decision for segment {segment} after segment "
+                f"{self._last_decided_segment} (segments must be "
+                f"non-decreasing)",
+            )
+        self._last_decided_segment = segment
+        if float(f["wait_s"]) <= 0:
+            self._decided_quality[segment] = quality
+            self._abandon_quality.pop(segment, None)
+
+    # -- download lifecycle ---------------------------------------------
+    def _on_download_start(self, event: TraceEvent) -> None:
+        f = event.fields
+        segment = int(f["segment"])
+        quality = int(f["quality"])
+        attempt = int(f["attempt"])
+        self._wire_bytes[segment] = int(f["wire_bytes"])
+        if attempt == 0:
+            authorized = self._decided_quality.get(segment)
+        else:
+            authorized = self._abandon_quality.get(segment)
+        if authorized is not None and quality != authorized:
+            self._flag(
+                "abr_legality", event,
+                f"download attempt {attempt} for segment {segment} at "
+                f"quality {quality} but the "
+                f"{'abandon' if attempt else 'decision'} authorized "
+                f"quality {authorized}",
+            )
+
+    def _on_abandon(self, event: TraceEvent) -> None:
+        f = event.fields
+        segment = int(f["segment"])
+        self._abandon_quality[segment] = int(f["to_quality"])
+        if int(f["wasted_bytes"]) < 0:
+            self._flag("byte_conservation", event,
+                       f"abandon wasted {f['wasted_bytes']} bytes (< 0)")
+
+    def _on_truncate(self, event: TraceEvent) -> None:
+        f = event.fields
+        requested = int(f["bytes_requested"])
+        wire = int(f["wire_bytes"])
+        if requested > wire:
+            self._flag(
+                "frame_drop_legality", event,
+                f"truncation requested {requested} bytes, more than the "
+                f"{wire} wire bytes of the attempt",
+            )
+        reliable = f.get("reliable_bytes")
+        if reliable is not None and requested < int(reliable):
+            self._flag(
+                "frame_drop_legality", event,
+                f"truncation to {requested} bytes cuts into the "
+                f"{int(reliable)}-byte reliable prefix (I-frame + "
+                f"headers): drops must come off the unreliable tail",
+            )
+
+    def _on_download_end(self, event: TraceEvent) -> None:
+        f = event.fields
+        segment = int(f["segment"])
+        requested = int(f["bytes_requested"])
+        delivered = int(f["bytes_delivered"])
+        lost = int(f["lost_bytes"])
+        if delivered < 0 or lost < 0 or requested < 0:
+            self._flag(
+                "byte_conservation", event,
+                f"negative byte count (requested={requested}, "
+                f"delivered={delivered}, lost={lost})",
+            )
+            return
+        if delivered + lost != requested:
+            self._flag(
+                "byte_conservation", event,
+                f"segment {segment}: delivered {delivered} + lost {lost} "
+                f"= {delivered + lost} != requested {requested}",
+            )
+        if delivered > requested:
+            self._flag(
+                "stream_limit", event,
+                f"segment {segment}: delivered {delivered} bytes exceeds "
+                f"the {requested} requested",
+            )
+        wire = self._wire_bytes.get(segment)
+        if wire is not None:
+            if requested > wire:
+                self._flag(
+                    "stream_limit", event,
+                    f"segment {segment}: requested {requested} bytes "
+                    f"beyond the attempt's {wire} wire bytes",
+                )
+            truncated = bool(f["truncated"])
+            if truncated != (requested < wire):
+                self._flag(
+                    "stream_limit", event,
+                    f"segment {segment}: truncated={truncated} "
+                    f"inconsistent with requested {requested} of "
+                    f"{wire} wire bytes",
+                )
+        if float(f["stall"]) < 0:
+            self._flag("stall_accounting", event,
+                       f"download_end stall {f['stall']} < 0")
+
+    # -- transport layer ------------------------------------------------
+    def _on_transport_round(self, event: TraceEvent) -> None:
+        f = event.fields
+        offered = int(f["offered"])
+        dropped = int(f["dropped"])
+        cwnd = float(f["cwnd"])
+        allowed = max(int(cwnd), 1)
+        if offered > allowed:
+            self._flag(
+                "cwnd_compliance", event,
+                f"round offered {offered} packets with cwnd {cwnd:.2f} "
+                f"(allowed {allowed}): the stream escaped congestion "
+                f"control",
+            )
+        if dropped < 0 or dropped > offered:
+            self._flag(
+                "cwnd_compliance", event,
+                f"round dropped {dropped} of {offered} offered packets",
+            )
+        if float(f["rtt"]) <= 0:
+            self._flag("monotone_clock", event,
+                       f"non-positive round RTT {f['rtt']}")
+
+    def _on_packet_loss(self, event: TraceEvent) -> None:
+        f = event.fields
+        if int(f["dropped_packets"]) <= 0:
+            self._flag("byte_conservation", event,
+                       "packet_loss event with no dropped packets")
+        if bool(f["reliable"]) and int(f["lost_bytes"]) != 0:
+            self._flag(
+                "byte_conservation", event,
+                f"reliable stream reports {f['lost_bytes']} "
+                f"application bytes lost (retransmission must repair "
+                f"them)",
+            )
+
+    _HANDLERS = {
+        ev.SESSION_START: _on_session_start,
+        ev.SESSION_END: _on_session_end,
+        ev.STALL: _on_stall,
+        ev.BUFFER_SAMPLE: _on_buffer_sample,
+        ev.ABR_DECISION: _on_abr_decision,
+        ev.DOWNLOAD_START: _on_download_start,
+        ev.ABANDON: _on_abandon,
+        ev.TRUNCATE: _on_truncate,
+        ev.DOWNLOAD_END: _on_download_end,
+        ev.TRANSPORT_ROUND: _on_transport_round,
+        ev.PACKET_LOSS: _on_packet_loss,
+    }
+
+
+def audit_events(
+    events: Sequence[TraceEvent], tolerance: float = FLOAT_TOLERANCE
+) -> AuditReport:
+    """Audit a complete event stream post hoc."""
+    auditor = TraceAuditor(tolerance=tolerance)
+    for event in events:
+        auditor.feed(event)
+    return auditor.finalize()
+
+
+def format_report(report: AuditReport) -> str:
+    """Human-readable audit outcome (one line per violation)."""
+    if report.ok:
+        return (
+            f"ok: {report.events} events, "
+            f"{len(INVARIANTS)} invariants checked, 0 violations"
+        )
+    lines = [
+        f"FAIL: {len(report.violations)} violation(s) in "
+        f"{report.events} events"
+    ]
+    lines.extend(str(v) for v in report.violations)
+    return "\n".join(lines)

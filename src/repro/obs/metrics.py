@@ -16,7 +16,9 @@ attribute update) on the hot path.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+import random
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
@@ -64,31 +66,74 @@ class Gauge:
         self.value -= amount
 
 
-class Histogram:
-    """Sample distribution with exact percentiles.
+#: Histogram sample cap: below it percentiles are exact; past it a
+#: deterministic reservoir (algorithm R with a fixed-seed RNG) keeps a
+#: uniform sample, bounding memory and percentile cost while ``count``,
+#: ``sum`` and ``mean`` stay exact.
+HISTOGRAM_RESERVOIR = 4096
 
-    Samples are kept verbatim (simulation workloads observe thousands,
-    not millions, of values); percentiles use the nearest-rank method so
-    they are exact and deterministic.
+
+class Histogram:
+    """Sample distribution with nearest-rank percentiles.
+
+    Up to :data:`HISTOGRAM_RESERVOIR` samples are kept verbatim, so the
+    percentiles of typical simulation workloads (thousands of values)
+    are exact and deterministic.  Beyond the cap the samples form a
+    uniform reservoir — percentiles become estimates, while ``count``,
+    ``sum`` and ``mean`` remain exact.  The sorted view is cached, so a
+    ``summary()`` costs one sort regardless of how many percentiles it
+    reads.
     """
 
-    __slots__ = ("_values", "total")
+    __slots__ = (
+        "_values", "_sorted", "_seen", "_count", "_rng", "_reservoir",
+        "total",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, reservoir: int = HISTOGRAM_RESERVOIR) -> None:
+        if reservoir <= 0:
+            raise ValueError("histogram reservoir must be positive")
         self._values: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._seen = 0  # samples offered to the reservoir
+        self._count = 0  # samples observed (exact, never decays)
+        self._rng: Optional[random.Random] = None
         self.total = 0.0
+        self._reservoir = reservoir
 
     def observe(self, value: float) -> None:
-        self._values.append(float(value))
+        self._count += 1
         self.total += value
+        self._add_sample(float(value))
+
+    def _add_sample(self, value: float) -> None:
+        """Admit one sample to the (bounded) reservoir."""
+        self._seen += 1
+        if len(self._values) < self._reservoir:
+            self._values.append(value)
+            self._sorted = None
+            return
+        if self._rng is None:
+            # Fixed seed: reservoir contents are a pure function of the
+            # observation sequence, keeping seeded runs reproducible.
+            self._rng = random.Random(0x5EED)
+        slot = self._rng.randrange(self._seen)
+        if slot < self._reservoir:
+            self._values[slot] = value
+            self._sorted = None
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def mean(self) -> float:
-        return self.total / len(self._values) if self._values else 0.0
+        return self.total / self._count if self._count else 0.0
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return self._sorted
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile; ``q`` in [0, 100]."""
@@ -96,7 +141,7 @@ class Histogram:
             return 0.0
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile {q} out of [0, 100]")
-        ordered = sorted(self._values)
+        ordered = self._ordered()
         if q == 0.0:
             return ordered[0]
         rank = math.ceil(q / 100.0 * len(ordered))
@@ -111,6 +156,13 @@ class Histogram:
             "p90": self.percentile(90),
             "p99": self.percentile(99),
         }
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples and exact aggregates in."""
+        for value in other._values:
+            self._add_sample(value)
+        self._count += other._count
+        self.total += other.total
 
 
 class MetricsRegistry:
@@ -184,6 +236,16 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges take the
+        other's latest value, histograms merge sample reservoirs."""
+        for (name, labels), metric in other._counters.items():
+            self.counter(name, **dict(labels)).inc(metric.value)
+        for (name, labels), metric in other._gauges.items():
+            self.gauge(name, **dict(labels)).set(metric.value)
+        for (name, labels), metric in other._histograms.items():
+            self.histogram(name, **dict(labels)).merge(metric)
+
 
 _DEFAULT_REGISTRY = MetricsRegistry()
 
@@ -196,3 +258,26 @@ def get_registry() -> MetricsRegistry:
 def reset_registry() -> None:
     """Clear the default registry (test isolation, fresh experiments)."""
     _DEFAULT_REGISTRY.reset()
+
+
+@contextmanager
+def scoped_registry(merge: bool = True) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh default registry for the duration of a block.
+
+    Code instrumented via :func:`get_registry` records into the scope's
+    registry, so repeated workloads (the 30 repetitions of an experiment
+    cell) report from a clean slate instead of accumulating process-wide
+    state.  On exit the scope is folded back into the enclosing registry
+    (``merge=False`` discards it instead), so outer consumers — e.g. the
+    CLI's ``--metrics`` dump — still see the totals.
+    """
+    global _DEFAULT_REGISTRY
+    parent = _DEFAULT_REGISTRY
+    child = MetricsRegistry()
+    _DEFAULT_REGISTRY = child
+    try:
+        yield child
+    finally:
+        _DEFAULT_REGISTRY = parent
+        if merge:
+            parent.merge(child)

@@ -1,0 +1,145 @@
+"""Benchmark regression gating: compare two BENCH_*.json payloads.
+
+``repro bench --compare baseline.json --threshold 10`` fails (exit 1)
+when any benchmark's wall time grew by at least the threshold percent —
+or when a benchmark present in the baseline disappeared, which would
+otherwise let a regression hide by deleting its benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.bench import BENCH_SCHEMA_VERSION
+
+
+class BenchFormatError(ValueError):
+    """A BENCH_*.json file does not conform to the bench schema."""
+
+
+def load_payload(path: str) -> Dict[str, object]:
+    """Read and schema-check one BENCH_*.json file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise BenchFormatError(f"unparseable bench file: {exc}") from None
+    if not isinstance(payload, dict):
+        raise BenchFormatError("bench payload is not a JSON object")
+    version = payload.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise BenchFormatError(
+            f"unsupported bench schema version {version!r} "
+            f"(expected {BENCH_SCHEMA_VERSION})"
+        )
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise BenchFormatError("bench payload has no 'benchmarks' map")
+    for name, stats in benchmarks.items():
+        if not isinstance(stats, dict) or "wall_s" not in stats:
+            raise BenchFormatError(f"benchmark {name!r} has no 'wall_s'")
+    return payload
+
+
+@dataclass
+class ComparisonRow:
+    """One benchmark's baseline-vs-current verdict."""
+
+    name: str
+    baseline_s: Optional[float]
+    current_s: Optional[float]
+    delta_pct: Optional[float]
+    status: str  # "ok" | "regression" | "missing" | "new"
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing a current run against a baseline."""
+
+    threshold_pct: float
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ComparisonRow]:
+        return [r for r in self.rows if r.status == "regression"]
+
+    @property
+    def missing(self) -> List[ComparisonRow]:
+        return [r for r in self.rows if r.status == "missing"]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.regressions or self.missing)
+
+
+def compare_payloads(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold_pct: float = 10.0,
+) -> Comparison:
+    """Compare wall times benchmark by benchmark.
+
+    A benchmark regresses when its wall time grows by at least
+    ``threshold_pct`` percent over the baseline.  Benchmarks only in the
+    baseline are ``missing`` (a failure); benchmarks only in the current
+    run are ``new`` (informational).
+    """
+    if threshold_pct <= 0:
+        raise ValueError("threshold must be positive")
+    base_marks: Dict[str, Dict] = baseline["benchmarks"]  # type: ignore
+    cur_marks: Dict[str, Dict] = current["benchmarks"]  # type: ignore
+    comparison = Comparison(threshold_pct=threshold_pct)
+    for name in sorted(set(base_marks) | set(cur_marks)):
+        base = base_marks.get(name)
+        cur = cur_marks.get(name)
+        if base is None:
+            comparison.rows.append(ComparisonRow(
+                name=name, baseline_s=None,
+                current_s=float(cur["wall_s"]), delta_pct=None,
+                status="new",
+            ))
+            continue
+        if cur is None:
+            comparison.rows.append(ComparisonRow(
+                name=name, baseline_s=float(base["wall_s"]),
+                current_s=None, delta_pct=None, status="missing",
+            ))
+            continue
+        base_s = float(base["wall_s"])
+        cur_s = float(cur["wall_s"])
+        delta = (cur_s - base_s) / base_s * 100.0 if base_s > 0 else 0.0
+        status = "regression" if delta >= threshold_pct else "ok"
+        comparison.rows.append(ComparisonRow(
+            name=name, baseline_s=base_s, current_s=cur_s,
+            delta_pct=delta, status=status,
+        ))
+    return comparison
+
+
+def format_comparison(comparison: Comparison) -> str:
+    lines = [
+        f"=== bench compare (threshold {comparison.threshold_pct:g}%) ==="
+    ]
+    for row in comparison.rows:
+        if row.status == "new":
+            lines.append(f"{row.name:28s} {'':>10s} -> "
+                         f"{row.current_s:8.4f}s  NEW")
+        elif row.status == "missing":
+            lines.append(f"{row.name:28s} {row.baseline_s:8.4f}s -> "
+                         f"{'':>10s}  MISSING")
+        else:
+            marker = "REGRESSION" if row.status == "regression" else "ok"
+            lines.append(
+                f"{row.name:28s} {row.baseline_s:8.4f}s -> "
+                f"{row.current_s:8.4f}s  {row.delta_pct:+7.1f}%  {marker}"
+            )
+    if comparison.failed:
+        lines.append(
+            f"FAIL: {len(comparison.regressions)} regression(s), "
+            f"{len(comparison.missing)} missing benchmark(s)"
+        )
+    else:
+        lines.append("ok: no regressions")
+    return "\n".join(lines)

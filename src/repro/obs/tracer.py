@@ -13,7 +13,7 @@ Two implementations share one interface:
 from __future__ import annotations
 
 from collections import deque
-from typing import IO, Iterable, Iterator, List, Optional, Union
+from typing import IO, Callable, Iterable, Iterator, List, Optional, Union
 
 from repro.network.clock import Clock
 from repro.obs.events import TraceEvent, parse_jsonl
@@ -27,6 +27,9 @@ class NullTracer:
     enabled = False
 
     def bind_clock(self, clock: Clock) -> None:
+        pass
+
+    def add_observer(self, observer) -> None:
         pass
 
     def emit(self, type_: str, **fields) -> None:
@@ -60,6 +63,9 @@ class Tracer:
             exceeded (``dropped`` counts them).
         validate: check each event against the schema on emission
             (cheap; disable only in micro-benchmarks).
+        observers: callables invoked with every emitted event *before*
+            it can be evicted from the ring buffer — how the inline
+            invariant auditor sees the full stream of a long session.
     """
 
     enabled = True
@@ -69,6 +75,7 @@ class Tracer:
         clock: Optional[Clock] = None,
         capacity: int = DEFAULT_CAPACITY,
         validate: bool = True,
+        observers: Optional[Iterable[Callable[[TraceEvent], None]]] = None,
     ):
         if capacity <= 0:
             raise ValueError("tracer capacity must be positive")
@@ -78,6 +85,13 @@ class Tracer:
         self.dropped = 0
         self._seq = 0
         self._buffer: deque = deque(maxlen=capacity)
+        self._observers: List[Callable[[TraceEvent], None]] = list(
+            observers or ()
+        )
+
+    def add_observer(self, observer: Callable[[TraceEvent], None]) -> None:
+        """Subscribe ``observer`` to every subsequently emitted event."""
+        self._observers.append(observer)
 
     # ------------------------------------------------------------------
     def bind_clock(self, clock: Clock) -> None:
@@ -102,6 +116,8 @@ class Tracer:
         if len(self._buffer) == self.capacity:
             self.dropped += 1
         self._buffer.append(event)
+        for observer in self._observers:
+            observer(event)
         return event
 
     # ------------------------------------------------------------------

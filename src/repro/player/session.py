@@ -204,6 +204,7 @@ class StreamingSession:
                 buffer_capacity_s=self.buffer.capacity_s,
                 backend=self.config.transport_backend,
                 partially_reliable=self.config.partially_reliable,
+                num_levels=self.manifest.num_levels,
             )
         self._before_session()
         for index in range(video.num_segments):
@@ -505,12 +506,19 @@ class StreamingSession:
         )
         if self.tracer.enabled:
             if truncated:
+                # The reliable prefix is only a hard floor on the VOXEL
+                # path: a plain-QUIC truncation cuts the decode-order
+                # stream, where no such boundary exists.
+                extra = {}
+                if self.http.voxel_capable and decision.skip_frames is None:
+                    extra["reliable_bytes"] = entry.reliable_size
                 self.tracer.emit(
                     ev.TRUNCATE,
                     segment=index,
                     quality=decision.quality,
                     bytes_requested=delivery.bytes_requested,
                     wire_bytes=total_wire,
+                    **extra,
                 )
             self.tracer.emit(
                 ev.DOWNLOAD_END,
@@ -573,7 +581,10 @@ class StreamingSession:
     # ------------------------------------------------------------------
     def _request_total(self, entry, decision: Decision) -> int:
         """Total wire bytes the request will ask for."""
-        if decision.skip_frames is not None:
+        if decision.skip_frames is not None and self.connection.partially_reliable:
+            # Mirrors _fetch: without partial reliability the skip-frames
+            # request degrades to a full-segment fetch, so the announced
+            # wire bytes must be the full segment too.
             segment = self.prepared.video.segment(decision.quality, entry.index)
             skipped_payload = sum(
                 segment.frames[idx].payload_bytes

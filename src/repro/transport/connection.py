@@ -210,6 +210,10 @@ class QuicConnection:
                     offered=burst,
                     dropped=dropped,
                     cwnd=float(self.cc.cwnd),
+                    # In the round model everything offered is in flight
+                    # for exactly one RTT; recording it makes the
+                    # congestion-compliance invariant auditable.
+                    inflight=burst,
                 )
                 if dropped:
                     self.tracer.emit(

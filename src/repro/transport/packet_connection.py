@@ -77,6 +77,7 @@ class PacketLevelConnection:
         self._start_time = 0.0
         self._done = False
         self._done_time = 0.0
+        self._round = 0  # send-burst counter (reset per download)
 
         # Lifetime counters.
         self.total_delivered = 0
@@ -95,6 +96,7 @@ class PacketLevelConnection:
 
     def _pump(self) -> None:
         """Send packets while the window allows."""
+        injected = 0
         while (
             len(self._inflight) < max(int(self.cc.cwnd), 1)
             and (self._retx_queue or self._next_offset < self._limit)
@@ -108,6 +110,23 @@ class PacketLevelConnection:
             self._next_sequence += 1
             self._inflight[sequence] = offset
             self.router.enqueue(Packet(flow=self, sequence=sequence))
+            injected += 1
+        if injected and self.tracer.enabled:
+            # One event per send burst: `offered` is what this pump put
+            # on the wire (<= cwnd by the loop guard), `inflight` the
+            # resulting outstanding total.  Drops surface separately as
+            # packet_loss events when the sender detects them.
+            self._round += 1
+            self.tracer.emit_at(
+                self.scheduler.now,
+                ev.TRANSPORT_ROUND,
+                round=self._round,
+                rtt=2 * self.router.propagation_s + 0.002,
+                offered=injected,
+                dropped=0,
+                cwnd=float(self.cc.cwnd),
+                inflight=len(self._inflight),
+            )
 
     # -- router callbacks --------------------------------------------------
     def on_delivered(self, packet: Packet) -> None:
@@ -213,6 +232,7 @@ class PacketLevelConnection:
         self._retx_queue = []
         self._progress = progress
         self._done = False
+        self._round = 0
 
         # Request latency: one RTT.
         latency = (2 * self.router.propagation_s) * REQUEST_RTT_COST

@@ -1,0 +1,166 @@
+"""Benchmark suite: payload schema, persistence, and regression gating."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import bench, regression
+from repro.obs.metrics import get_registry
+
+
+@pytest.fixture(scope="module")
+def payload(tiny_prepared):
+    """One quick suite run, shared across the module (seconds, not minutes)."""
+    return bench.run_suite(quick=True, label="test", prepared=tiny_prepared)
+
+
+def test_payload_schema(payload):
+    assert payload["schema_version"] == bench.BENCH_SCHEMA_VERSION
+    assert payload["label"] == "test"
+    assert payload["quick"] is True
+    assert payload["workload"] == "tinytest"
+    assert set(payload["benchmarks"]) == {
+        "micro.decode_segment", "micro.abr_choose", "micro.transport_round",
+        "macro.session.round", "macro.session.packet",
+    }
+    for name, stats in payload["benchmarks"].items():
+        assert stats["wall_s"] > 0, name
+        assert stats["kind"] in ("micro", "macro")
+
+
+def test_micro_stats(payload):
+    stats = payload["benchmarks"]["micro.abr_choose"]
+    assert stats["repeats"] == 200
+    assert stats["per_call_s"] == pytest.approx(
+        stats["wall_s"] / stats["repeats"]
+    )
+    assert 0 < stats["p50_s"] <= stats["p90_s"]
+
+
+def test_macro_stats(payload):
+    for name in ("macro.session.round", "macro.session.packet"):
+        stats = payload["benchmarks"][name]
+        assert stats["sim_s"] > 0
+        assert stats["sim_s_per_wall_s"] == pytest.approx(
+            stats["sim_s"] / stats["wall_s"]
+        )
+        assert stats["events"] > 0
+        assert stats["peak_trace_bytes"] > 0
+        assert stats["segments"] == 6
+
+
+def test_suite_does_not_pollute_registry(tiny_prepared):
+    before = get_registry().dump()
+    bench.run_suite(quick=True, label="isolated", prepared=tiny_prepared)
+    assert get_registry().dump() == before
+
+
+def test_payload_roundtrip(payload, tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    bench.write_payload(payload, str(path))
+    loaded = regression.load_payload(str(path))
+    assert loaded == json.loads(json.dumps(payload))
+
+
+def test_format_suite_lists_every_benchmark(payload):
+    text = bench.format_suite(payload)
+    for name in payload["benchmarks"]:
+        assert name in text
+
+
+# ---------------------------------------------------------------------------
+# Regression gating.
+# ---------------------------------------------------------------------------
+def _with_wall(payload, name, wall_s):
+    clone = copy.deepcopy(payload)
+    clone["benchmarks"][name]["wall_s"] = wall_s
+    return clone
+
+
+def test_compare_flags_regression(payload):
+    slower = _with_wall(
+        payload, "micro.abr_choose",
+        payload["benchmarks"]["micro.abr_choose"]["wall_s"] * 1.5,
+    )
+    comparison = regression.compare_payloads(payload, slower,
+                                             threshold_pct=10.0)
+    assert comparison.failed
+    assert [r.name for r in comparison.regressions] == ["micro.abr_choose"]
+    assert comparison.regressions[0].delta_pct == pytest.approx(50.0)
+
+
+def test_compare_tolerates_below_threshold(payload):
+    slower = _with_wall(
+        payload, "micro.abr_choose",
+        payload["benchmarks"]["micro.abr_choose"]["wall_s"] * 1.05,
+    )
+    comparison = regression.compare_payloads(payload, slower,
+                                             threshold_pct=10.0)
+    assert not comparison.failed
+    assert all(r.status == "ok" for r in comparison.rows)
+
+
+def test_compare_missing_benchmark_fails(payload):
+    current = copy.deepcopy(payload)
+    del current["benchmarks"]["macro.session.packet"]
+    comparison = regression.compare_payloads(payload, current)
+    assert comparison.failed
+    assert [r.name for r in comparison.missing] == ["macro.session.packet"]
+
+
+def test_compare_new_benchmark_is_informational(payload):
+    current = copy.deepcopy(payload)
+    current["benchmarks"]["micro.novel"] = {"kind": "micro", "wall_s": 1.0}
+    comparison = regression.compare_payloads(payload, current)
+    assert not comparison.failed
+    assert any(r.status == "new" for r in comparison.rows)
+    assert "NEW" in regression.format_comparison(comparison)
+
+
+def test_load_payload_rejects_bad_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema_version": 99, "benchmarks": {}}))
+    with pytest.raises(regression.BenchFormatError):
+        regression.load_payload(str(path))
+    path.write_text("not json")
+    with pytest.raises(regression.BenchFormatError):
+        regression.load_payload(str(path))
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro bench --input/--compare exit codes.
+# ---------------------------------------------------------------------------
+def test_cli_bench_compare_exit_codes(payload, tmp_path, capsys):
+    from repro.cli import main
+
+    base_path = tmp_path / "BENCH_base.json"
+    bench.write_payload(payload, str(base_path))
+    slower = _with_wall(
+        payload, "micro.abr_choose",
+        payload["benchmarks"]["micro.abr_choose"]["wall_s"] * 1.5,
+    )
+    cur_path = tmp_path / "BENCH_cur.json"
+    bench.write_payload(slower, str(cur_path))
+
+    rc = main(["bench", "--input", str(cur_path),
+               "--compare", str(base_path), "--threshold", "10"])
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    rc = main(["bench", "--input", str(cur_path),
+               "--compare", str(base_path), "--threshold", "60"])
+    assert rc == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_cli_bench_rejects_unreadable_baseline(payload, tmp_path):
+    from repro.cli import main
+
+    cur_path = tmp_path / "BENCH_cur.json"
+    bench.write_payload(payload, str(cur_path))
+    rc = main(["bench", "--input", str(cur_path),
+               "--compare", str(tmp_path / "absent.json")])
+    assert rc == 2

@@ -40,6 +40,29 @@ class TestRunner:
         ssims = {round(s.mean_ssim, 9) for s in summary.sessions}
         assert len(stalls) > 1 or len(ssims) > 1
 
+    def test_trial_metrics_are_scoped(self, tiny_prepared, tiny_config):
+        # Registry hygiene: each trial's metrics dump covers only its own
+        # sessions, so back-to-back identical trials report identically
+        # instead of accumulating process-wide state.
+        first = run_trials(tiny_config, prepared=tiny_prepared)
+        second = run_trials(tiny_config, prepared=tiny_prepared)
+        assert first.metrics is not None
+        assert first.metrics == second.metrics
+        sessions = first.metrics["counters"][
+            "experiments.sessions{abr=bola,trace=verizon}"
+        ]
+        assert sessions == tiny_config.repetitions
+
+    def test_trial_metrics_merge_into_parent(self, tiny_prepared,
+                                             tiny_config):
+        from repro.obs import get_registry
+
+        key = "experiments.sessions{abr=bola,trace=verizon}"
+        before = get_registry().dump()["counters"].get(key, 0.0)
+        run_trials(tiny_config, prepared=tiny_prepared)
+        after = get_registry().dump()["counters"].get(key, 0.0)
+        assert after == before + tiny_config.repetitions
+
     def test_summary_aggregates(self, tiny_prepared, tiny_config):
         summary = run_trials(tiny_config, prepared=tiny_prepared)
         row = summary.row()

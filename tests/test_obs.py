@@ -138,6 +138,140 @@ class TestRegistry:
         assert "probe" not in get_registry().dump()["counters"]
 
 
+class TestHistogramReservoir:
+    def test_exact_below_cap(self):
+        h = Histogram(reservoir=100)
+        for v in range(100, 0, -1):
+            h.observe(float(v))
+        # Every sample retained: percentiles are exact.
+        assert h.percentile(50) == 50.0
+        assert h.count == 100
+        assert h.total == pytest.approx(sum(range(1, 101)))
+
+    def test_memory_bounded_past_cap(self):
+        h = Histogram(reservoir=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h._values) == 64
+        # Exact aggregates survive the sampling.
+        assert h.count == 10_000
+        assert h.total == pytest.approx(sum(range(10_000)))
+        assert h.mean == pytest.approx(4999.5)
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            h = Histogram(reservoir=32)
+            for v in range(5_000):
+                h.observe(float(v))
+            return h
+
+        assert fill()._values == fill()._values
+
+    def test_reservoir_percentiles_stay_representative(self):
+        h = Histogram(reservoir=512)
+        for v in range(100_000):
+            h.observe(float(v))
+        # Uniform input: the sampled median lands near the true median.
+        assert abs(h.percentile(50) - 50_000) < 15_000
+
+    def test_sorted_cache_invalidation(self):
+        h = Histogram()
+        h.observe(2.0)
+        assert h.percentile(50) == 2.0
+        h.observe(1.0)  # must invalidate the cached ordering
+        assert h.percentile(0) == 1.0
+
+    def test_merge_preserves_exact_aggregates(self):
+        a, b = Histogram(), Histogram()
+        for v in (1.0, 2.0):
+            a.observe(v)
+        for v in (3.0, 4.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(10.0)
+        assert a.percentile(100) == 4.0
+
+    def test_rejects_non_positive_reservoir(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir=0)
+
+
+class TestScopedRegistry:
+    def test_scope_isolates_and_merges_back(self):
+        from repro.obs import scoped_registry
+
+        reset_registry()
+        get_registry().counter("outer").inc(2)
+        with scoped_registry() as registry:
+            assert get_registry() is registry
+            assert "outer" not in registry.dump()["counters"]
+            get_registry().counter("outer").inc(3)
+            get_registry().histogram("lat").observe(0.5)
+        # Back on the parent, with the scope's series folded in.
+        snap = get_registry().dump()
+        assert snap["counters"]["outer"] == 5.0
+        assert snap["histograms"]["lat"]["count"] == 1.0
+        reset_registry()
+
+    def test_scope_discard(self):
+        from repro.obs import scoped_registry
+
+        reset_registry()
+        with scoped_registry(merge=False):
+            get_registry().counter("ephemeral").inc()
+        assert "ephemeral" not in get_registry().dump()["counters"]
+
+    def test_scope_restores_on_exception(self):
+        from repro.obs import scoped_registry
+
+        reset_registry()
+        parent = get_registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry():
+                raise RuntimeError("boom")
+        assert get_registry() is parent
+
+    def test_registry_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.merge(b)
+        snap = a.dump()
+        assert snap["counters"]["c"] == 3.0  # counters add
+        assert snap["gauges"]["g"] == 9.0  # gauges take the latest
+
+
+class TestTracerObservers:
+    def test_observer_sees_every_event(self):
+        seen = []
+        tracer = Tracer(observers=[seen.append])
+        tracer.emit_at(0.0, ev.STALL, duration=0.5, segment=1)
+        tracer.emit_at(1.0, ev.STALL, duration=0.25, segment=2)
+        assert [e.seq for e in seen] == [0, 1]
+
+    def test_observer_sees_evicted_events(self):
+        seen = []
+        tracer = Tracer(capacity=2, observers=[seen.append])
+        for i in range(5):
+            tracer.emit_at(float(i), ev.STALL, duration=0.1, segment=i)
+        assert len(tracer) == 2  # ring buffer kept only the tail
+        assert len(seen) == 5  # the observer saw everything
+
+    def test_add_observer_after_construction(self):
+        seen = []
+        tracer = Tracer()
+        tracer.emit_at(0.0, ev.STALL, duration=0.1, segment=0)
+        tracer.add_observer(seen.append)
+        tracer.emit_at(1.0, ev.STALL, duration=0.1, segment=1)
+        assert [e.seq for e in seen] == [1]
+
+    def test_null_tracer_accepts_observers(self):
+        NULL_TRACER.add_observer(lambda event: None)
+
+
 class TestEventSchema:
     def test_roundtrip(self):
         event = TraceEvent(
