@@ -27,8 +27,6 @@ import json
 import sys
 from typing import Dict, List, Optional
 
-import numpy as np
-
 
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro import available_abrs, available_traces, available_videos
@@ -236,38 +234,31 @@ def _maybe_print_metrics(args: argparse.Namespace) -> None:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro import prepare_video
-    from repro.abr import make_abr
-    from repro.network import get_trace
-    from repro.player import SessionConfig, StreamingSession
+    from repro.experiments.runner import ExperimentConfig, compare
 
     prepared = prepare_video(args.video)
-    trace = get_trace(args.trace, seed=args.seed)
-    systems = [
-        ("BOLA/QUIC", "bola", False),
-        ("BETA/QUIC", "beta", False),
-        ("VOXEL", "abr_star", True),
-    ]
+    base = ExperimentConfig(
+        video=args.video,
+        trace=args.trace,
+        buffer_segments=args.buffer,
+        repetitions=args.reps,
+        seed=args.seed,
+    )
+    variants = {
+        "BOLA/QUIC": {"abr": "bola", "partially_reliable": False},
+        "BETA/QUIC": {"abr": "beta", "partially_reliable": False},
+        "VOXEL": {"abr": "abr_star", "partially_reliable": True},
+    }
+    summaries = compare(
+        base, variants, prepared=prepared, workers=args.workers
+    )
     rows = []
-    for label, abr_name, pr in systems:
-        buf_ratios, ssims, bitrates = [], [], []
-        for i in range(args.reps):
-            abr = make_abr(abr_name, prepared=prepared)
-            config = SessionConfig(
-                buffer_segments=args.buffer, partially_reliable=pr
-            )
-            session = StreamingSession(
-                prepared, abr,
-                trace.shifted(i * trace.duration / args.reps), config,
-            )
-            metrics = session.run()
-            buf_ratios.append(metrics.buf_ratio)
-            ssims.append(metrics.mean_ssim)
-            bitrates.append(metrics.avg_bitrate_kbps)
+    for label, summary in summaries.items():
         rows.append({
             "system": label,
-            "buf_ratio_p90_pct": float(np.percentile(buf_ratios, 90)) * 100,
-            "mean_ssim": float(np.mean(ssims)),
-            "bitrate_kbps": float(np.mean(bitrates)),
+            "buf_ratio_p90_pct": summary.buf_ratio_p90 * 100,
+            "mean_ssim": summary.mean_ssim,
+            "bitrate_kbps": summary.mean_bitrate_kbps,
         })
     if args.json:
         if args.metrics:
@@ -290,6 +281,93 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     _maybe_print_metrics(args)
     return 0
+
+
+def _cmd_multiclient(args: argparse.Namespace) -> int:
+    from repro.experiments.multiclient import ClientSpec, run_multiclient
+
+    # Mixed fleet: cycle ABR x transport flavour so any --clients count
+    # exercises contention between heterogeneous sessions.
+    cycle = [
+        ("abr_star", True),
+        ("bola", True),
+        ("abr_star", False),
+        ("bola", False),
+    ]
+    specs = [
+        ClientSpec(
+            abr=cycle[i % len(cycle)][0],
+            video=args.video,
+            partially_reliable=cycle[i % len(cycle)][1],
+            buffer_segments=args.buffer,
+        )
+        for i in range(args.clients)
+    ]
+
+    tracer = None
+    auditor = None
+    trace_sink = None
+    if args.trace_out or args.check_invariants:
+        from repro.obs import MultiSessionAuditor, Tracer
+
+        tracer = Tracer()
+        if args.trace_out:
+            try:
+                trace_sink = open(args.trace_out, "w", encoding="utf-8")
+            except OSError as exc:
+                print(
+                    f"error: cannot write trace {args.trace_out!r}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+        if args.check_invariants:
+            auditor = MultiSessionAuditor()
+            tracer.add_observer(auditor.feed)
+
+    result = run_multiclient(
+        specs,
+        trace=args.trace,
+        seed=args.seed,
+        queue_packets=args.queue,
+        backend=args.backend,
+        tracer=tracer,
+    )
+
+    if trace_sink is not None:
+        written = tracer.write_jsonl(trace_sink)
+        trace_sink.close()
+        print(f"wrote {written} events to {args.trace_out}",
+              file=sys.stderr)
+    audit_failed = False
+    if auditor is not None:
+        from repro.obs import format_report
+
+        report = auditor.finalize()
+        print(format_report(report), file=sys.stderr)
+        audit_failed = not report.ok
+
+    rows = result.rows()
+    if args.json:
+        payload = {"jain_index": result.jain_index, "clients": rows}
+        if getattr(args, "metrics", False):
+            from repro.obs import get_registry
+
+            payload["metrics"] = get_registry().dump()
+        print(json.dumps(payload, indent=2))
+        return 1 if audit_failed else 0
+    print(f"{args.clients} clients on {args.trace} "
+          f"({args.backend} backend, shared bottleneck)")
+    print(f"{'client':>22s} {'SSIM':>7s} {'kbps':>7s} {'bufRatio%':>10s} "
+          f"{'stall s':>8s} {'Mbps':>6s}")
+    for row in rows:
+        print(
+            f"{row['session_id']:>22s} {row['mean_ssim']:7.3f} "
+            f"{row['bitrate_kbps']:7.0f} {row['buf_ratio'] * 100:10.2f} "
+            f"{row['total_stall_s']:8.2f} {row['throughput_mbps']:6.2f}"
+        )
+    print(f"Jain's fairness index: {result.jain_index:.4f}")
+    _maybe_print_metrics(args)
+    return 1 if audit_failed else 0
 
 
 # Figure registry: name -> (callable path, light kwargs).
@@ -505,8 +583,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--buffer", type=int, default=1)
     p_compare.add_argument("--reps", type=int, default=5)
     p_compare.add_argument("--seed", type=int, default=0)
+    p_compare.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the repetitions (results are "
+        "byte-identical to --workers 1)",
+    )
     p_compare.add_argument("--metrics", action="store_true",
                            help="print the metrics registry after the run")
+
+    p_mc = sub.add_parser(
+        "multiclient",
+        help="N concurrent ABR sessions contending on one bottleneck",
+    )
+    p_mc.add_argument("video", nargs="?", default="bbb")
+    p_mc.add_argument("--clients", type=int, default=4,
+                      help="number of concurrent sessions")
+    p_mc.add_argument("--trace", default="verizon")
+    p_mc.add_argument("--buffer", type=int, default=3,
+                      help="playback buffer in segments (per client)")
+    p_mc.add_argument("--seed", type=int, default=0)
+    p_mc.add_argument("--queue", type=int, default=32,
+                      help="shared droptail queue in packets")
+    p_mc.add_argument("--backend", choices=("round", "packet"),
+                      default="round")
+    p_mc.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record the interleaved multi-session trace to this "
+        "JSONL file",
+    )
+    p_mc.add_argument(
+        "--check-invariants", action="store_true",
+        help="audit the interleaved trace inline (per-session laws + "
+        "shared-link conservation); exit 1 on any violation",
+    )
+    p_mc.add_argument("--metrics", action="store_true",
+                      help="print the metrics registry after the run")
 
     p_figure = sub.add_parser(
         "figure", help="regenerate a paper table/figure"
@@ -535,6 +646,7 @@ _HANDLERS = {
     "stream": _cmd_stream,
     "trace": _cmd_trace,
     "compare": _cmd_compare,
+    "multiclient": _cmd_multiclient,
     "figure": _cmd_figure,
     "survey": _cmd_survey,
     "bench": _cmd_bench,

@@ -9,6 +9,10 @@ measure each flow's realized throughput plus Jain's fairness index.
 The key property: QUIC*'s unreliable streams still run CUBIC, so an
 unreliable flow claims no more than its fair share even though it never
 retransmits.
+
+Each flow is an ordinary kernel process (``download_iter`` spawned on a
+:class:`~repro.network.events.SimKernel`) — the same execution model
+full multi-client sessions use, with no private scheduler wiring.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.network.events import EventScheduler
+from repro.network.events import SimKernel
 from repro.network.packetlink import PacketRouter
 from repro.network.traces import NetworkTrace, constant_trace
 from repro.transport.packet_connection import PacketLevelConnection
@@ -61,56 +65,22 @@ class FairnessResult:
         return rates / self.link_mbps
 
 
-class _BulkFlow:
-    """A long-lived transfer that keeps its pipe full until `total` sent.
-
-    Implemented as a thin driver around :class:`PacketLevelConnection`:
-    the connection's ``download`` is blocking, so concurrent flows are
-    realized by giving every flow its own connection on the *shared*
-    router and interleaving them through the shared event scheduler —
-    each flow's sender callbacks fire from the same loop.
-    """
-
-    def __init__(self, label: str, connection: PacketLevelConnection,
-                 total_bytes: int, reliable: bool):
-        self.label = label
-        self.connection = connection
-        self.total_bytes = total_bytes
-        self.reliable = reliable
-        self.started = False
-        self.result = None
-
-    def start(self, scheduler: EventScheduler) -> None:
-        """Arm the flow's sender state without blocking."""
-        conn = self.connection
-        conn._reliable = self.reliable or not conn.partially_reliable
-        conn._limit = self.total_bytes
-        conn._next_offset = 0
-        conn._inflight = {}
-        conn._delivered_bytes = 0
-        conn._lost = []
-        conn._retx_queue = []
-        conn._progress = None
-        conn._done = False
-        conn._start_time = scheduler.now
-        latency = 2 * conn.router.propagation_s
-        scheduler.schedule(latency, conn._pump)
-        scheduler.schedule(latency, conn._check_done)
-        self.started = True
-
-    @property
-    def done(self) -> bool:
-        return self.started and self.connection._done
-
-    def finish(self, scheduler: EventScheduler) -> FlowResult:
-        conn = self.connection
-        end = conn._done_time if conn._done else scheduler.now
-        return FlowResult(
-            label=self.label,
-            reliable=self.reliable,
-            delivered_bytes=conn._delivered_bytes,
-            elapsed=end - conn._start_time,
-        )
+def _bulk_flow(
+    label: str,
+    connection: PacketLevelConnection,
+    total_bytes: int,
+    reliable: bool,
+):
+    """One long-lived transfer as a kernel process; returns FlowResult."""
+    result = yield from connection.download_iter(
+        total_bytes, reliable=reliable
+    )
+    return FlowResult(
+        label=label,
+        reliable=reliable,
+        delivered_bytes=result.delivered,
+        elapsed=result.elapsed,
+    )
 
 
 def run_fairness(
@@ -138,25 +108,25 @@ def run_fairness(
         Per-flow throughputs and Jain's index, measured over each flow's
         own completion time.
     """
-    scheduler = EventScheduler()
+    kernel = SimKernel()
     the_trace = trace if trace is not None else constant_trace(
         link_mbps, duration=3600
     )
-    router = PacketRouter(scheduler, the_trace, queue_packets=queue_packets)
+    router = PacketRouter(kernel, the_trace, queue_packets=queue_packets)
 
-    flows = []
+    waiters = []
     for label, reliable in flow_specs:
         connection = PacketLevelConnection(
-            router, scheduler, partially_reliable=True
+            router, kernel, partially_reliable=True
         )
-        flows.append(
-            _BulkFlow(
-                label, connection, int(transfer_mb * 1e6), reliable
+        waiters.append(
+            kernel.spawn(
+                _bulk_flow(
+                    label, connection, int(transfer_mb * 1e6), reliable
+                )
             )
         )
-    for flow in flows:
-        flow.start(scheduler)
 
-    scheduler.run_until(lambda: all(flow.done for flow in flows))
-    results = [flow.finish(scheduler) for flow in flows]
+    kernel.run_until(lambda: all(w.fired for w in waiters))
+    results = [w.value for w in waiters]
     return FairnessResult(flows=results, link_mbps=link_mbps)

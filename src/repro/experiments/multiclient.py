@@ -1,0 +1,225 @@
+"""Multi-client experiment: N full ABR sessions on one bottleneck.
+
+The paper's testbed streams one client against cross traffic; this
+module runs *several complete streaming sessions* — mixed ABR
+algorithms, mixed transport flavours (QUIC vs QUIC*), even mixed videos
+— concurrently on one shared bottleneck, interleaved by the discrete-
+event kernel.  Each session is the ordinary
+:class:`~repro.player.session.StreamingSession` state machine
+(:meth:`~repro.player.session.StreamingSession.steps`) spawned as a
+kernel process; contention emerges from the shared link's continuous-
+service accounting (round backend) or the shared droptail router
+(packet backend), not from any bespoke multi-client code path.
+
+Reported per client: QoE (SSIM, bitrate), stalls, startup delay, and
+realized throughput; across clients: Jain's fairness index.  With a
+tracer attached, all sessions record into one globally ordered stream
+(events tagged ``session_id``) and the run ends with a ``link_stats``
+event carrying the shared link's lifetime counters, so
+``repro trace --check`` can verify cross-session byte conservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.abr import make_abr
+from repro.network.events import SimKernel
+from repro.network.link import BottleneckLink
+from repro.network.traces import NetworkTrace, get_trace
+from repro.obs import events as ev
+from repro.player.metrics import SessionMetrics
+from repro.player.session import SessionConfig, StreamingSession
+from repro.prep.prepare import PreparedVideo, get_prepared
+
+
+@dataclass
+class ClientSpec:
+    """One client of a multi-client run."""
+
+    abr: str = "bola"
+    video: str = "bbb"
+    partially_reliable: bool = True  # QUIC* (True) vs plain QUIC (False)
+    buffer_segments: int = 3
+    abr_kwargs: Dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        flavour = "Q*" if self.partially_reliable else "Q"
+        return f"{self.abr}/{flavour}"
+
+
+@dataclass
+class ClientOutcome:
+    """One client's results."""
+
+    session_id: str
+    spec: ClientSpec
+    metrics: SessionMetrics
+
+    @property
+    def delivered_bytes(self) -> int:
+        return sum(r.bytes_delivered for r in self.metrics.records)
+
+    @property
+    def throughput_mbps(self) -> float:
+        wall = self.metrics.wall_duration
+        if wall <= 0:
+            return 0.0
+        return self.delivered_bytes * 8.0 / wall / 1e6
+
+
+@dataclass
+class MulticlientResult:
+    """Aggregate of one multi-client run."""
+
+    clients: List[ClientOutcome]
+    trace_name: str
+    backend: str
+
+    @property
+    def jain_index(self) -> float:
+        """Jain's fairness index over per-client throughput."""
+        rates = np.array([c.throughput_mbps for c in self.clients])
+        if not len(rates) or rates.sum() == 0:
+            return 1.0
+        return float(rates.sum() ** 2 / (len(rates) * (rates**2).sum()))
+
+    def rows(self) -> List[Dict[str, float]]:
+        out = []
+        for client in self.clients:
+            m = client.metrics
+            out.append({
+                "session_id": client.session_id,
+                "label": client.spec.label(),
+                "video": client.spec.video,
+                "mean_ssim": m.mean_ssim,
+                "bitrate_kbps": m.avg_bitrate_kbps,
+                "buf_ratio": m.buf_ratio,
+                "total_stall_s": m.total_stall,
+                "startup_delay_s": m.startup_delay,
+                "throughput_mbps": client.throughput_mbps,
+            })
+        return out
+
+
+#: The mixed 4-client default: both ABRs, both transport flavours.
+DEFAULT_SPECS = (
+    ClientSpec(abr="abr_star", partially_reliable=True),
+    ClientSpec(abr="bola", partially_reliable=True),
+    ClientSpec(abr="abr_star", partially_reliable=False),
+    ClientSpec(abr="bola", partially_reliable=False),
+)
+
+
+def run_multiclient(
+    specs: Sequence[ClientSpec] = DEFAULT_SPECS,
+    trace: Union[str, NetworkTrace] = "verizon",
+    seed: int = 0,
+    queue_packets: int = 32,
+    base_rtt: float = 0.060,
+    backend: str = "round",
+    tracer=None,
+    prepared_map: Optional[Dict[str, PreparedVideo]] = None,
+) -> MulticlientResult:
+    """Run N concurrent streaming sessions on one shared bottleneck.
+
+    Args:
+        specs: one :class:`ClientSpec` per client (>= 1).
+        trace: bottleneck capacity trace (name or instance).  All
+            clients contend for this one link.
+        seed: trace seed; the whole run is a pure function of
+            (specs, trace, seed) — same inputs, byte-identical traces.
+        queue_packets: shared droptail queue size.
+        base_rtt: propagation RTT of the shared path.
+        backend: ``"round"`` (shared :class:`BottleneckLink`) or
+            ``"packet"`` (shared :class:`PacketRouter`, much slower).
+        tracer: optional shared tracer; events are tagged per session.
+        prepared_map: video name -> PreparedVideo, for videos outside
+            the catalog (fixtures, benchmarks).
+
+    Returns:
+        Per-client metrics plus Jain's fairness index.
+    """
+    if not specs:
+        raise ValueError("a multi-client run needs at least one client")
+    if isinstance(trace, str):
+        trace_name = trace
+        trace = get_trace(trace, seed=seed)
+    else:
+        trace_name = getattr(trace, "name", "custom")
+
+    kernel = SimKernel()
+    shared_link = None
+    shared_router = None
+    if backend == "round":
+        shared_link = BottleneckLink(
+            trace,
+            queue_packets=queue_packets,
+            base_rtt=base_rtt,
+        )
+    elif backend == "packet":
+        from repro.network.packetlink import PacketRouter
+
+        shared_router = PacketRouter(
+            kernel, trace, queue_packets=queue_packets,
+            propagation_s=base_rtt / 2.0,
+        )
+    else:
+        raise ValueError(f"unknown multiclient backend {backend!r}")
+
+    sessions: List[StreamingSession] = []
+    session_ids: List[str] = []
+    for i, spec in enumerate(specs):
+        if prepared_map is not None and spec.video in prepared_map:
+            prepared = prepared_map[spec.video]
+        else:
+            prepared = get_prepared(spec.video)
+        abr = make_abr(spec.abr, prepared=prepared, **spec.abr_kwargs)
+        config = SessionConfig(
+            buffer_segments=spec.buffer_segments,
+            partially_reliable=spec.partially_reliable,
+            queue_packets=queue_packets,
+            base_rtt=base_rtt,
+            transport_backend=backend,
+        )
+        session_id = f"c{i}-{spec.abr}-{'Qstar' if spec.partially_reliable else 'Q'}"
+        session = StreamingSession(
+            prepared,
+            abr,
+            trace,
+            config,
+            link=shared_link,
+            tracer=tracer,
+            clock=kernel.clock,
+            session_id=session_id,
+            scheduler=kernel if backend == "packet" else None,
+            router=shared_router,
+        )
+        sessions.append(session)
+        session_ids.append(session_id)
+
+    # Spawn order is the determinism anchor: simultaneous events tie-
+    # break by spawn sequence, so a fixed spec list fixes the interleave.
+    waiters = [kernel.spawn(session.steps()) for session in sessions]
+    kernel.run_until(lambda: all(w.fired for w in waiters))
+
+    if tracer is not None and tracer.enabled:
+        source = shared_link if shared_link is not None else shared_router
+        tracer.emit(
+            ev.LINK_STATS,
+            offered_packets=source.offered_packets,
+            dropped_packets=source.dropped_packets,
+            delivered_packets=source.delivered_packets,
+            flows=len(specs),
+        )
+
+    clients = [
+        ClientOutcome(session_id=sid, spec=spec, metrics=w.value)
+        for sid, spec, w in zip(session_ids, specs, waiters)
+    ]
+    return MulticlientResult(
+        clients=clients, trace_name=trace_name, backend=backend
+    )

@@ -7,12 +7,22 @@ repeated (30 times in the paper) with the trace linearly shifted by
 throughput variations and VBR segment-size variations.  Aggregates follow
 the paper: 90th percentile and standard error of bufRatio, means of
 average bitrates, CDFs of per-segment scores.
+
+Repetitions are independent simulations, so :func:`run_trials` can fan
+them out over worker processes (``workers=K``).  Parallel execution is
+*deterministic*: each repetition runs inside its own metrics scope (in
+both modes) and the parent folds the per-repetition registries back in
+repetition order, so aggregates, metrics dumps, and traces are
+byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
 
 import numpy as np
 
@@ -22,8 +32,9 @@ from repro.network.crosstraffic import (
     generate_cross_demand,
 )
 from repro.network.traces import NetworkTrace, get_trace
-from repro.obs.metrics import get_registry, scoped_registry
+from repro.obs.metrics import MetricsRegistry, get_registry, scoped_registry
 from repro.obs.profiling import timed
+from repro.obs.tracer import Tracer
 from repro.player.metrics import SessionMetrics, percentile_across, stderr_across
 from repro.player.session import SessionConfig, StreamingSession
 from repro.prep.prepare import PreparedVideo, get_prepared
@@ -62,6 +73,8 @@ class TrialSummary:
     # bleed-over from earlier trials in the process); None when the
     # trial was built by hand.
     metrics: Optional[Dict] = None
+    # Per-repetition JSONL traces when run_trials(collect_traces=True).
+    traces: Optional[List[str]] = None
 
     @property
     def buf_ratio_p90(self) -> float:
@@ -156,33 +169,120 @@ def run_single(
         return session.run()
 
 
+def _rep_session(
+    config: ExperimentConfig,
+    shift_s: float,
+    prepared: PreparedVideo,
+    trace: NetworkTrace,
+    collect_trace: bool,
+) -> Tuple[SessionMetrics, MetricsRegistry, Optional[str]]:
+    """Run one repetition in its own metrics scope.
+
+    Returns the session metrics, the repetition's registry (for the
+    parent to merge in repetition order — the key to serial/parallel
+    metric identity), and the JSONL trace if requested.
+    """
+    tracer = Tracer() if collect_trace else None
+    with scoped_registry(merge=False) as registry:
+        metrics = run_single(
+            config, shift_s=shift_s, prepared=prepared, trace=trace,
+            tracer=tracer,
+        )
+    jsonl = tracer.to_jsonl() if collect_trace else None
+    return metrics, registry, jsonl
+
+
+#: Prepared video handed to fork()ed workers via inheritance: non-catalog
+#: videos (test fixtures, benchmarks) cannot be re-prepared by name in
+#: the child, and pickling a PreparedVideo per task would dwarf the
+#: simulation itself.
+_PARALLEL_PREPARED: Optional[PreparedVideo] = None
+
+
+def _trial_worker(
+    task: Tuple[ExperimentConfig, float, bool],
+) -> Tuple[SessionMetrics, MetricsRegistry, Optional[str]]:
+    """Process-pool entry point for one repetition."""
+    config, shift_s, collect_trace = task
+    prepared = _PARALLEL_PREPARED
+    if prepared is None or prepared.video.name != config.video:
+        prepared = get_prepared(config.video)
+    trace = _resolve_trace(config)
+    return _rep_session(config, shift_s, prepared, trace, collect_trace)
+
+
 def run_trials(
     config: ExperimentConfig,
     prepared: Optional[PreparedVideo] = None,
+    workers: int = 1,
+    collect_traces: bool = False,
 ) -> TrialSummary:
-    """Run all repetitions with per-repetition trace shifting."""
+    """Run all repetitions with per-repetition trace shifting.
+
+    Args:
+        config: the experiment cell.
+        prepared: pre-analyzed video (looked up by name if omitted).
+        workers: worker processes; ``1`` runs serially in-process.  Any
+            K produces byte-identical summaries (sessions, metrics dump,
+            traces) to the serial run — repetitions are independent and
+            results are folded in repetition order.
+        collect_traces: record a JSONL trace per repetition on the
+            summary's ``traces``.
+    """
+    global _PARALLEL_PREPARED
     if prepared is None:
         prepared = get_prepared(config.video)
     trace = _resolve_trace(config)
     reps = max(config.repetitions, 1)
     shift_step = trace.duration / reps
+    shifts = [i * shift_step for i in range(reps)]
+
     # Each trial runs inside its own registry scope so its metrics dump
     # reflects only these sessions; the scope merges back into the
     # parent on exit, keeping process-wide totals intact.
     with scoped_registry() as registry:
-        sessions = [
-            run_single(config, shift_s=i * shift_step, prepared=prepared,
-                       trace=trace)
-            for i in range(reps)
-        ]
-        metrics = registry.dump()
-    return TrialSummary(config=config, sessions=sessions, metrics=metrics)
+        if workers <= 1:
+            outcomes = [
+                _rep_session(config, shift, prepared, trace, collect_traces)
+                for shift in shifts
+            ]
+        else:
+            # fork() workers inherit the prepared video (and any other
+            # process state) by memory snapshot — cheap, and identical
+            # inputs to the serial path.
+            _PARALLEL_PREPARED = prepared
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, reps), mp_context=ctx
+                ) as pool:
+                    outcomes = list(pool.map(
+                        _trial_worker,
+                        [(config, shift, collect_traces) for shift in shifts],
+                    ))
+            finally:
+                _PARALLEL_PREPARED = None
+        sessions = []
+        traces: List[str] = []
+        for metrics, rep_registry, jsonl in outcomes:
+            sessions.append(metrics)
+            registry.merge(rep_registry)
+            if jsonl is not None:
+                traces.append(jsonl)
+        metrics_dump = registry.dump()
+    return TrialSummary(
+        config=config,
+        sessions=sessions,
+        metrics=metrics_dump,
+        traces=traces if collect_traces else None,
+    )
 
 
 def compare(
     base: ExperimentConfig,
     variants: Dict[str, Dict],
     prepared: Optional[PreparedVideo] = None,
+    workers: int = 1,
 ) -> Dict[str, TrialSummary]:
     """Run several variants of a base configuration.
 
@@ -191,5 +291,5 @@ def compare(
     out: Dict[str, TrialSummary] = {}
     for label, overrides in variants.items():
         config = replace(base, **overrides)
-        out[label] = run_trials(config, prepared=prepared)
+        out[label] = run_trials(config, prepared=prepared, workers=workers)
     return out

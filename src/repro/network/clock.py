@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 
 class Clock:
     """A simple monotonically advancing simulation clock.
@@ -9,7 +11,9 @@ class Clock:
     The streaming session owns the clock; the transport advances it while
     downloads progress, and the player reads it to account playback and
     stalls.  Keeping it explicit (instead of a global) lets tests run many
-    independent sessions side by side.
+    independent sessions side by side.  In multi-client simulations one
+    clock is shared by every session and advanced by the
+    :class:`~repro.network.events.SimKernel` alone.
     """
 
     __slots__ = ("now",)
@@ -18,7 +22,9 @@ class Clock:
         self.now = float(start)
 
     def advance(self, dt: float) -> float:
-        """Move time forward by ``dt`` seconds (must be non-negative)."""
+        """Move time forward by ``dt`` seconds (finite, non-negative)."""
+        if not math.isfinite(dt):
+            raise ValueError(f"cannot advance clock by non-finite {dt!r}")
         if dt < 0:
             raise ValueError(f"cannot advance clock by {dt}")
         self.now += dt

@@ -1,17 +1,77 @@
-"""Discrete-event scheduler for the packet-level simulation backend.
+"""Discrete-event kernel: the single clock-advancing authority.
 
-The round-based transport (:mod:`repro.transport.connection`) is fast
-enough for full experiment sweeps; the packet-level backend built on this
-scheduler exists to *validate* it (see ``benchmarks/bench_backends.py``)
-and to support experiments that genuinely need per-packet interleaving,
-such as multi-flow fairness.
+Historically this module held only the heap scheduler behind the
+packet-level transport backend.  It has since been generalized into the
+simulation kernel every layer runs on:
+
+* :class:`EventScheduler` — the classic heap-based event loop
+  (time, sequence, callback), still used directly by the packet router.
+* :class:`Waiter` — a one-shot wake-up handle; processes yield one to
+  sleep until some event (a download completing, a timer) fires it.
+* :class:`SimKernel` — an :class:`EventScheduler` that owns a
+  :class:`~repro.network.clock.Clock` (kept in sync with event time) and
+  can :meth:`~SimKernel.spawn` generator *processes*: resumable state
+  machines that yield either a ``float`` (sleep that many simulated
+  seconds) or a :class:`Waiter` (sleep until woken).  N streaming
+  sessions spawned on one kernel interleave on a shared bottleneck.
+* :func:`drive` — runs one process to completion without a kernel,
+  reproducing the legacy blocking behaviour byte for byte: a single
+  session driven this way is indistinguishable from the pre-kernel code.
+
+The yield protocol is deliberately tiny::
+
+    def process(self):
+        result = yield from connection.download_iter(nbytes)  # Waiters
+        yield 0.250                                           # sleep
+        return result       # surfaced via the spawn()-returned Waiter
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+import math
+from typing import Callable, Generator, List, Optional, Tuple, Union
+
+from repro.network.clock import Clock
+
+
+class Waiter:
+    """A one-shot wake-up handle connecting processes to events.
+
+    A process yields a :class:`Waiter` to suspend; whoever completes the
+    awaited condition calls :meth:`wake`, which runs any registered
+    callbacks (the kernel's resume hook).  Waking twice is a no-op, so
+    completion paths need no "already woken?" bookkeeping.
+    """
+
+    __slots__ = ("fired", "value", "_callbacks")
+
+    def __init__(self) -> None:
+        self.fired = False
+        self.value = None  # optional payload (spawn() stores results here)
+        self._callbacks: List[Callable[[], None]] = []
+
+    def wake(self) -> None:
+        """Fire the waiter; runs registered callbacks exactly once."""
+        if self.fired:
+            return
+        self.fired = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
+
+    def on_wake(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when fired (immediately if already fired)."""
+        if self.fired:
+            callback()
+        else:
+            self._callbacks.append(callback)
+
+
+#: What a process may yield: seconds to sleep, or a Waiter to await.
+ProcessYield = Union[float, Waiter]
+Process = Generator[ProcessYield, None, object]
 
 
 class EventScheduler:
@@ -31,10 +91,19 @@ class EventScheduler:
     def schedule(self, delay: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
-        Returns an id usable with :meth:`cancel`.
+        Returns an id usable with :meth:`cancel`.  The kernel refuses to
+        schedule into the past (or with a NaN/inf delay, which would
+        silently corrupt the event heap's ordering).
         """
+        if not math.isfinite(delay):
+            raise ValueError(
+                f"cannot schedule an event with non-finite delay {delay!r}"
+            )
         if delay < 0:
-            raise ValueError(f"cannot schedule {delay} s in the past")
+            raise ValueError(
+                f"cannot schedule an event {-delay} s in the past "
+                f"(delay {delay} < 0): simulated time only moves forward"
+            )
         event_id = next(self._counter)
         heapq.heappush(self._heap, (self.now + delay, event_id, callback))
         return event_id
@@ -46,6 +115,9 @@ class EventScheduler:
     def empty(self) -> bool:
         return not self._heap
 
+    def _clock_sync(self) -> None:
+        """Hook: subclasses owning a clock sync it to event time."""
+
     def step(self) -> bool:
         """Run the next event; returns False when nothing is pending."""
         while self._heap:
@@ -54,8 +126,12 @@ class EventScheduler:
                 self._cancelled.discard(event_id)
                 continue
             if time < self.now - 1e-12:
-                raise RuntimeError("event scheduled in the past")
+                raise RuntimeError(
+                    f"event scheduled in the past: event time {time:.9f} "
+                    f"precedes kernel time {self.now:.9f}"
+                )
             self.now = max(self.now, time)
+            self._clock_sync()
             callback()
             return True
         return False
@@ -70,3 +146,82 @@ class EventScheduler:
             events += 1
             if events > max_events:
                 raise RuntimeError("event budget exhausted (livelock?)")
+
+
+class SimKernel(EventScheduler):
+    """An event scheduler that owns the simulation clock and runs
+    generator processes.
+
+    The kernel is the *single* clock-advancing authority: before every
+    callback it syncs ``clock.now`` to the event time, so every process
+    (and everything it calls — transport, tracer, player) observes one
+    consistent notion of "now".  Multi-client simulations share one
+    kernel, one clock, and one bottleneck.
+    """
+
+    def __init__(self, start: float = 0.0, clock: Optional[Clock] = None):
+        super().__init__(start)
+        self.clock = clock if clock is not None else Clock(start)
+        self.clock.now = self.now
+
+    def _clock_sync(self) -> None:
+        self.clock.now = self.now
+
+    def spawn(self, process: Process, delay: float = 0.0) -> Waiter:
+        """Run a generator process on the kernel.
+
+        The process starts after ``delay`` simulated seconds.  Returns a
+        :class:`Waiter` that fires when the process finishes; the
+        process's ``return`` value is stored on ``waiter.value``.
+        Spawn order breaks ties between simultaneous events, so a fixed
+        spawn sequence yields a deterministic interleaving.
+        """
+        done = Waiter()
+
+        def resume() -> None:
+            try:
+                item = process.send(None)
+            except StopIteration as stop:
+                done.value = stop.value
+                done.wake()
+                return
+            if isinstance(item, Waiter):
+                item.on_wake(resume)
+            else:
+                self.schedule(item, resume)
+
+        self.schedule(delay, resume)
+        return done
+
+    def run(self, max_events: int = 50_000_000) -> None:
+        """Drain the event heap completely."""
+        self.run_until(lambda: False, max_events=max_events)
+
+
+def drive(process: Process, clock: Clock,
+          scheduler: Optional[EventScheduler] = None):
+    """Run one process to completion, blocking, without a kernel.
+
+    This is the legacy single-session execution mode: ``float`` yields
+    advance ``clock`` directly; :class:`Waiter` yields run ``scheduler``
+    events until the waiter fires (then sync the clock to event time),
+    exactly like the pre-kernel blocking transport loops did.  A process
+    driven this way produces byte-identical results to the old code.
+    """
+    try:
+        while True:
+            item = process.send(None)
+            if isinstance(item, Waiter):
+                if scheduler is None:
+                    raise RuntimeError(
+                        "process yielded a Waiter but drive() has no "
+                        "scheduler to run events on"
+                    )
+                scheduler.run_until(lambda: item.fired)
+                # Match the legacy blocking downloads: event time ran
+                # ahead of the session clock mid-wait; snap it forward.
+                clock.now = scheduler.now
+            else:
+                clock.advance(item)
+    except StopIteration as stop:
+        return stop.value

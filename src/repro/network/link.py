@@ -11,6 +11,17 @@ sender offers a burst of packets; the queue absorbs what the service rate
 cannot carry; overflow beyond the queue limit is tail-dropped.  Queueing
 delay feeds back into the RTT.  This keeps the loss <-> congestion-window
 feedback loop of a packet-level simulation at a fraction of the cost.
+
+**Shared mode.**  A link is single-flow by default, with the exact
+historical accounting (each round assumes the full service rate over its
+own RTT window).  Once a second flow attaches (:meth:`attach`) the link
+latches into shared mode: service is accounted *continuously* — each
+offer first drains the queue by ``service * elapsed`` since the last
+offer from any flow, then adds its arrivals with no same-round service
+lookahead.  Overlapping rounds from N senders therefore compete for one
+service rate instead of each privately assuming all of it, and droptail
+losses emerge from genuine aggregate pressure.  Single-flow simulations
+keep byte-identical results because the latch only trips at two flows.
 """
 
 from __future__ import annotations
@@ -72,10 +83,39 @@ class BottleneckLink:
             queue_packets = max(int(bdp_factor * bdp_bytes / mtu), 4)
         self.queue_packets = int(queue_packets)
         self.queue_bytes = 0  # current occupancy
+        # Flow bookkeeping: >= 2 concurrent attachments latch shared
+        # (continuous-service) accounting for the rest of the run.
+        self.flows = 0
+        self._shared = False
+        self._last_service_t: Optional[float] = None
+        # Lifetime instance counters (cross-session conservation law).
+        self.offered_packets = 0
+        self.delivered_packets = 0
+        self.dropped_packets = 0
         registry = get_registry()
         self._ctr_offered = registry.counter("link.packets_offered")
         self._ctr_dropped = registry.counter("link.packets_dropped")
         self._gauge_queue = registry.gauge("link.queue_bytes")
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Register a flow (connection) using this link.
+
+        The second concurrent flow permanently switches the link to the
+        shared continuous-service accounting; single-flow runs never pay
+        for (or observe) it.
+        """
+        self.flows += 1
+        if self.flows >= 2:
+            self._shared = True
+
+    def release(self) -> None:
+        """Deregister a flow.  Shared accounting stays latched."""
+        self.flows = max(self.flows - 1, 0)
+
+    @property
+    def shared(self) -> bool:
+        return self._shared
 
     # ------------------------------------------------------------------
     def available_bps(self, t: float) -> float:
@@ -100,6 +140,8 @@ class BottleneckLink:
         """
         if packets < 0:
             raise ValueError("cannot offer a negative burst")
+        if self._shared:
+            return self._offer_round_shared(t, packets)
         service = self.available_bps(t)
         rtt = self.base_rtt + self.queue_bytes * 8.0 / service
 
@@ -116,10 +158,7 @@ class BottleneckLink:
 
         dropped = min(int(dropped_bytes // self.mtu), packets)
         delivered = packets - dropped
-        self._ctr_offered.inc(packets)
-        if dropped:
-            self._ctr_dropped.inc(dropped)
-        self._gauge_queue.set(self.queue_bytes)
+        self._account(packets, delivered, dropped)
         return RoundOutcome(
             delivered_packets=delivered,
             dropped_packets=dropped,
@@ -127,9 +166,62 @@ class BottleneckLink:
             bandwidth_bps=service,
         )
 
+    def _offer_round_shared(self, t: float, packets: int) -> RoundOutcome:
+        """Continuous-service round accounting for N concurrent flows.
+
+        Drain first (service since the last offer from *any* flow), then
+        add this burst's arrivals with no same-round lookahead — the
+        service the single-flow path would grant this round is instead
+        granted to whoever offers next, over real elapsed time, so N
+        overlapping rounds cannot multiply the link's capacity by N.
+        """
+        service = self.available_bps(t)
+        if self._last_service_t is not None:
+            elapsed = t - self._last_service_t
+            if elapsed > 0:
+                self.queue_bytes = max(
+                    0.0, self.queue_bytes - service * elapsed / 8.0
+                )
+        self._last_service_t = t
+
+        # Queueing delay seen by this burst: the backlog already ahead
+        # of it at arrival.
+        rtt = self.base_rtt + self.queue_bytes * 8.0 / service
+
+        arrivals = packets * self.mtu
+        backlog = self.queue_bytes + arrivals
+        limit = self.queue_packets * self.mtu
+        dropped_bytes = max(backlog - limit, 0.0)
+        self.queue_bytes = min(backlog, limit)
+
+        dropped = min(int(dropped_bytes // self.mtu), packets)
+        delivered = packets - dropped
+        self._account(packets, delivered, dropped)
+        return RoundOutcome(
+            delivered_packets=delivered,
+            dropped_packets=dropped,
+            rtt=rtt,
+            bandwidth_bps=service,
+        )
+
+    def _account(self, offered: int, delivered: int, dropped: int) -> None:
+        self.offered_packets += offered
+        self.delivered_packets += delivered
+        self.dropped_packets += dropped
+        self._ctr_offered.inc(offered)
+        if dropped:
+            self._ctr_dropped.inc(dropped)
+        self._gauge_queue.set(self.queue_bytes)
+
     def drain(self, t: float, dt: float) -> None:
-        """Let the queue drain while the sender is idle for ``dt``."""
-        if dt <= 0:
+        """Let the queue drain while the sender is idle for ``dt``.
+
+        In shared mode this is a no-op: one flow idling says nothing
+        about the others, and elapsed-time draining at the next offer
+        already accounts the service (double-draining here would hand
+        the idler's share out twice).
+        """
+        if self._shared or dt <= 0:
             return
         service = self.available_bps(t)
         self.queue_bytes = max(0.0, self.queue_bytes - service * dt / 8.0)

@@ -60,12 +60,14 @@ class PacketRouter:
         self._queue: Deque[Packet] = deque()
         self._serving = False
         # Lifetime counters (observability + tests).
+        self.offered_packets = 0
         self.delivered_packets = 0
         self.dropped_packets = 0
 
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> None:
         """A packet arrives from a sender."""
+        self.offered_packets += 1
         if len(self._queue) >= self.queue_packets:
             self.dropped_packets += 1
             packet.flow.on_dropped(packet)

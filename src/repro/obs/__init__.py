@@ -27,6 +27,7 @@ from repro.obs.events import (
 from repro.obs.invariants import (
     INVARIANTS,
     AuditReport,
+    MultiSessionAuditor,
     TraceAuditor,
     Violation,
     audit_events,
@@ -47,7 +48,13 @@ from repro.obs.profiling import (
     timed,
     timing_summary,
 )
-from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, read_jsonl
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SessionTracer,
+    Tracer,
+    read_jsonl,
+)
 
 __all__ = [
     "EVENT_FIELDS",
@@ -58,6 +65,7 @@ __all__ = [
     "TraceEvent",
     "INVARIANTS",
     "AuditReport",
+    "MultiSessionAuditor",
     "TraceAuditor",
     "Violation",
     "audit_events",
@@ -75,6 +83,7 @@ __all__ = [
     "timing_summary",
     "NULL_TRACER",
     "NullTracer",
+    "SessionTracer",
     "Tracer",
     "read_jsonl",
 ]

@@ -171,6 +171,72 @@ def _bench_session(prepared, backend: str, seed: int) -> Dict[str, float]:
     }
 
 
+def _bench_multiclient(tiny, seed: int) -> Dict[str, float]:
+    """Four mixed clients contending on one shared bottleneck."""
+    from repro.experiments.multiclient import ClientSpec, run_multiclient
+    from repro.network.traces import constant_trace
+
+    tracer = Tracer()
+    specs = [
+        ClientSpec(abr="abr_star", video=tiny.name, partially_reliable=True),
+        ClientSpec(abr="bola", video=tiny.name, partially_reliable=True),
+        ClientSpec(abr="abr_star", video=tiny.name, partially_reliable=False),
+        ClientSpec(abr="bola", video=tiny.name, partially_reliable=False),
+    ]
+    t0 = time.perf_counter()
+    result = run_multiclient(
+        specs,
+        trace=constant_trace(20.0),
+        seed=seed,
+        tracer=tracer,
+        prepared_map={tiny.name: tiny},
+    )
+    wall = max(time.perf_counter() - t0, 1e-9)
+    sim_s = max(c.metrics.wall_duration for c in result.clients)
+    events = len(tracer)
+    return {
+        "kind": "macro",
+        "workload": tiny.name,
+        "wall_s": wall,
+        "sim_s": sim_s,
+        "sim_s_per_wall_s": sim_s / wall,
+        "events": events,
+        "events_per_s": events / wall,
+        "peak_trace_bytes": len(tracer.to_jsonl()),
+        "clients": len(result.clients),
+        "jain_index": result.jain_index,
+    }
+
+
+def _bench_parallel_runner(tiny, seed: int) -> Dict[str, float]:
+    """Serial vs parallel trial executor on the same experiment cell."""
+    from repro.experiments.runner import ExperimentConfig, run_trials
+
+    config = ExperimentConfig(
+        video=tiny.name,
+        abr="bola",
+        trace="constant:20",
+        repetitions=4,
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    serial = run_trials(config, prepared=tiny, workers=1)
+    serial_wall = max(time.perf_counter() - t0, 1e-9)
+    t0 = time.perf_counter()
+    parallel = run_trials(config, prepared=tiny, workers=2)
+    wall = max(time.perf_counter() - t0, 1e-9)
+    return {
+        "kind": "parallel",
+        "workload": tiny.name,
+        "wall_s": wall,
+        "serial_wall_s": serial_wall,
+        "speedup": serial_wall / wall,
+        "workers": 2,
+        "reps": config.repetitions,
+        "identical": serial.sessions == parallel.sessions,
+    }
+
+
 # ---------------------------------------------------------------------------
 def run_suite(
     quick: bool = False,
@@ -224,6 +290,12 @@ def run_suite(
         benchmarks["macro.session.packet"] = _bench_session(
             tiny, "packet", seed
         )
+        # Multi-client contention and the parallel trial executor always
+        # use the tiny workload — they each run several full sessions.
+        benchmarks["macro.multiclient"] = _bench_multiclient(tiny, seed)
+        benchmarks["macro.parallel_runner"] = _bench_parallel_runner(
+            tiny, seed
+        )
 
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -260,6 +332,14 @@ def format_suite(payload: Dict[str, object]) -> str:
                 f"{stats['per_call_s'] * 1e6:10.1f}us/call  "
                 f"p90 {stats['p90_s'] * 1e6:10.1f}us "
                 f"({stats['repeats']} calls)"
+            )
+        elif stats["kind"] == "parallel":
+            lines.append(
+                f"{name:28s} {stats['wall_s']:9.4f}s wall  "
+                f"serial {stats['serial_wall_s']:9.4f}s  "
+                f"speedup {stats['speedup']:5.2f}x  "
+                f"({stats['workers']} workers, {stats['reps']} reps, "
+                f"identical={stats['identical']})"
             )
         else:
             lines.append(

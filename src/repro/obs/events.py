@@ -34,6 +34,8 @@ SELECTIVE_RETX = "selective_retx"
 # Event types (transport / network layer)
 TRANSPORT_ROUND = "transport_round"
 PACKET_LOSS = "packet_loss"
+# Event types (shared-link / multi-client layer)
+LINK_STATS = "link_stats"    # lifetime counters of a shared bottleneck
 
 #: type -> required payload fields.  Emission and parsing both validate
 #: against this map, so a trace that round-trips is schema conformant.
@@ -63,6 +65,9 @@ EVENT_FIELDS: Dict[str, tuple] = {
     SELECTIVE_RETX: ("segment", "repaired_bytes", "residual_bytes"),
     TRANSPORT_ROUND: ("round", "rtt", "offered", "dropped", "cwnd"),
     PACKET_LOSS: ("dropped_packets", "lost_bytes", "reliable"),
+    LINK_STATS: (
+        "offered_packets", "dropped_packets", "delivered_packets", "flows",
+    ),
 }
 
 #: type -> optional payload fields.  Optional fields may be absent (older
@@ -75,6 +80,12 @@ OPTIONAL_FIELDS: Dict[str, tuple] = {
     TRUNCATE: ("reliable_bytes",),
     TRANSPORT_ROUND: ("inflight",),
 }
+
+#: Optional fields every event type may carry.  ``session_id`` tags
+#: events of multi-client traces with their originating session so
+#: auditors can partition one interleaved stream; solo traces omit it
+#: entirely (backward compatible, no version bump).
+COMMON_OPTIONAL_FIELDS = ("session_id",)
 
 EVENT_TYPES = tuple(sorted(EVENT_FIELDS))
 
@@ -105,6 +116,7 @@ class TraceEvent:
         extra = [
             k for k in self.fields
             if k not in required and k not in optional
+            and k not in COMMON_OPTIONAL_FIELDS
         ]
         if extra:
             raise SchemaError(

@@ -62,6 +62,7 @@ INVARIANTS: Dict[str, str] = {
     "frame_drop_legality": "truncations keep at least the reliable prefix and at most the announced wire bytes",
     "abr_legality": "decisions walk segments in order with ladder-legal qualities matching each download attempt",
     "stall_accounting": "session_end stall totals and bufRatio equal the sum of stall events",
+    "shared_link_conservation": "a shared link's delivered + dropped packets equal the packets the sessions offered",
 }
 
 
@@ -423,11 +424,136 @@ class TraceAuditor:
     }
 
 
+class MultiSessionAuditor:
+    """Audit one interleaved trace of N concurrent sessions.
+
+    The global stream must stay monotone (one kernel, one clock, one seq
+    space); beyond that, events are partitioned by their ``session_id``
+    into per-session :class:`TraceAuditor` instances, so every
+    single-session law holds *per session* even though the sessions'
+    events interleave arbitrarily.  One law is genuinely cross-session:
+
+    * ``shared_link_conservation`` — the shared bottleneck's lifetime
+      counters (a ``link_stats`` event emitted when the run ends) must
+      balance against what the sessions collectively sent: delivered +
+      dropped = offered, offered = the sum of every session's
+      ``transport_round.offered``, and dropped = the sum of every
+      ``packet_loss.dropped_packets``.  Bytes cannot appear on the wire
+      without a session sending them, nor vanish without being dropped.
+    """
+
+    def __init__(self, tolerance: float = FLOAT_TOLERANCE):
+        self.tolerance = tolerance
+        self.violations: List[Violation] = []
+        self._index = -1
+        self._last_seq: Optional[int] = None
+        self._last_t: Optional[float] = None
+        self._sessions: Dict[object, TraceAuditor] = {}
+        self._session_order: List[object] = []
+        self._link_stats: Optional[TraceEvent] = None
+        self._rounds_offered = 0
+        self._losses_dropped = 0
+
+    # ------------------------------------------------------------------
+    def _flag(self, invariant: str, event: TraceEvent, message: str) -> None:
+        self.violations.append(Violation(
+            invariant=invariant, index=self._index, seq=event.seq,
+            t=event.t, message=message,
+        ))
+
+    def _session(self, key) -> TraceAuditor:
+        auditor = self._sessions.get(key)
+        if auditor is None:
+            auditor = TraceAuditor(tolerance=self.tolerance)
+            self._sessions[key] = auditor
+            self._session_order.append(key)
+        return auditor
+
+    # ------------------------------------------------------------------
+    def feed(self, event: TraceEvent) -> None:
+        """Audit one event of the interleaved stream (in stream order)."""
+        self._index += 1
+        if self._last_seq is not None and event.seq <= self._last_seq:
+            self._flag(
+                "monotone_clock", event,
+                f"global sequence number {event.seq} does not advance "
+                f"past {self._last_seq}",
+            )
+        if self._last_t is not None and event.t < self._last_t - 1e-12:
+            self._flag(
+                "monotone_clock", event,
+                f"global timestamp {event.t:.6f} runs backwards from "
+                f"{self._last_t:.6f} (sessions share one kernel clock)",
+            )
+        self._last_seq = event.seq
+        self._last_t = event.t
+
+        if event.type == ev.LINK_STATS:
+            # Lifetime counters; the last emission wins.
+            self._link_stats = event
+            return
+        if event.type == ev.TRANSPORT_ROUND:
+            self._rounds_offered += int(event.fields["offered"])
+        elif event.type == ev.PACKET_LOSS:
+            self._losses_dropped += int(event.fields["dropped_packets"])
+        self._session(event.fields.get("session_id")).feed(event)
+
+    def finalize(self) -> AuditReport:
+        """Close every per-session audit plus the cross-session laws."""
+        violations = list(self.violations)
+        for key in self._session_order:
+            violations.extend(self._sessions[key].finalize().violations)
+        stats = self._link_stats
+        if stats is not None:
+            self._check_link(stats, violations)
+        return AuditReport(events=self._index + 1, violations=violations)
+
+    def _check_link(self, stats: TraceEvent,
+                    violations: List[Violation]) -> None:
+        f = stats.fields
+        offered = int(f["offered_packets"])
+        delivered = int(f["delivered_packets"])
+        dropped = int(f["dropped_packets"])
+
+        def flag(message: str) -> None:
+            violations.append(Violation(
+                invariant="shared_link_conservation", index=self._index,
+                seq=stats.seq, t=stats.t, message=message,
+            ))
+
+        if delivered + dropped != offered:
+            flag(
+                f"link delivered {delivered} + dropped {dropped} = "
+                f"{delivered + dropped} != offered {offered}"
+            )
+        if offered != self._rounds_offered:
+            flag(
+                f"link saw {offered} offered packets but the sessions' "
+                f"transport rounds offered {self._rounds_offered}"
+            )
+        if dropped != self._losses_dropped:
+            flag(
+                f"link dropped {dropped} packets but the sessions' "
+                f"packet_loss events account for {self._losses_dropped}"
+            )
+
+
 def audit_events(
     events: Sequence[TraceEvent], tolerance: float = FLOAT_TOLERANCE
 ) -> AuditReport:
-    """Audit a complete event stream post hoc."""
-    auditor = TraceAuditor(tolerance=tolerance)
+    """Audit a complete event stream post hoc.
+
+    Single-session traces go through :class:`TraceAuditor`; traces
+    carrying ``session_id`` tags or ``link_stats`` events (multi-client
+    runs) through :class:`MultiSessionAuditor`.
+    """
+    multi = any(
+        e.type == ev.LINK_STATS or "session_id" in e.fields for e in events
+    )
+    auditor = (
+        MultiSessionAuditor(tolerance=tolerance) if multi
+        else TraceAuditor(tolerance=tolerance)
+    )
     for event in events:
         auditor.feed(event)
     return auditor.finalize()

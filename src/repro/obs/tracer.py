@@ -157,6 +157,48 @@ class Tracer:
         return len(self._buffer)
 
 
+class SessionTracer:
+    """A per-session view onto a shared :class:`Tracer`.
+
+    Multi-client runs record every session into one tracer (one globally
+    ordered stream, one seq space); each session gets a ``SessionTracer``
+    that stamps its ``session_id`` onto everything it emits, so auditors
+    and analyses can partition the interleaved stream afterwards.
+    """
+
+    def __init__(self, tracer, session_id: str):
+        self._tracer = tracer
+        self.session_id = session_id
+
+    @property
+    def enabled(self) -> bool:
+        return self._tracer.enabled
+
+    def bind_clock(self, clock: Clock) -> None:
+        self._tracer.bind_clock(clock)
+
+    def add_observer(self, observer) -> None:
+        self._tracer.add_observer(observer)
+
+    def emit(self, type_: str, **fields):
+        fields.setdefault("session_id", self.session_id)
+        return self._tracer.emit(type_, **fields)
+
+    def emit_at(self, t: float, type_: str, **fields):
+        fields.setdefault("session_id", self.session_id)
+        return self._tracer.emit_at(t, type_, **fields)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self._tracer.events
+
+    def __len__(self) -> int:
+        return len(self._tracer)
+
+    def write_jsonl(self, destination) -> int:
+        return self._tracer.write_jsonl(destination)
+
+
 def read_jsonl(source: Union[str, IO[str], Iterable[str]]) -> List[TraceEvent]:
     """Read a JSONL trace from a path, file object, or iterable of lines."""
     if isinstance(source, str):

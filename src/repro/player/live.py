@@ -88,13 +88,13 @@ class LiveStreamingSession(StreamingSession):
         d = self.segment_duration
         return self._broadcast_start + (index + 1) * d + self.encoder_delay
 
-    def _before_segment(self, index: int) -> None:
+    def _before_segment(self, index: int):
         """Wait for the live edge: the segment must exist to be fetched."""
         wait = self.availability_time(index) - self.clock.now
         if wait > 0:
-            self._idle(wait)
+            yield from self._idle(wait)
 
-    def _after_segment(self, index: int, record: SegmentRecord) -> None:
+    def _after_segment(self, index: int, record: SegmentRecord):
         """Record how far behind the live edge this segment will play.
 
         The segment starts playing once everything buffered ahead of it
@@ -108,6 +108,8 @@ class LiveStreamingSession(StreamingSession):
         )
         media_start = self._broadcast_start + index * self.segment_duration
         self._latencies.append(play_start - media_start)
+        return
+        yield  # pragma: no cover - makes the hook a kernel process
 
     # ------------------------------------------------------------------
     def run_live(self) -> LiveMetrics:

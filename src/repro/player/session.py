@@ -29,12 +29,13 @@ from repro.abr.base import (
     safe_throughput,
 )
 from repro.network.clock import Clock
+from repro.network.events import drive
 from repro.network.link import BottleneckLink
 from repro.network.traces import NetworkTrace
 from repro.obs import events as ev
 from repro.obs.metrics import get_registry
 from repro.obs.profiling import timed
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import NULL_TRACER, SessionTracer
 from repro.player.buffer import PlaybackBuffer
 from repro.player.metrics import SegmentRecord, SessionMetrics
 from repro.prep.prepare import PreparedVideo
@@ -95,17 +96,30 @@ class StreamingSession:
         cross_demand: Optional[NetworkTrace] = None,
         link: Optional[BottleneckLink] = None,
         tracer=None,
+        clock: Optional[Clock] = None,
+        session_id: Optional[str] = None,
+        scheduler=None,
+        router=None,
     ):
         self.prepared = prepared
         self.abr = abr
         self.config = config if config is not None else SessionConfig()
-        self.clock = Clock()
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Multi-client runs hand every session the kernel's clock (the
+        # single clock-advancing authority); solo runs own a private one.
+        self.clock = clock if clock is not None else Clock()
+        self.session_id = session_id
+        tracer = tracer if tracer is not None else NULL_TRACER
+        if session_id is not None and tracer.enabled:
+            tracer = SessionTracer(tracer, session_id)
+        self.tracer = tracer
         self.tracer.bind_clock(self.clock)
+        # Event scheduler backing the connection (packet backend only;
+        # drive()/SimKernel need it to service Waiter yields).
+        self.scheduler = None
         if self.config.transport_backend == "packet":
             self.link = None
             self.connection = self._build_packet_connection(
-                trace, cross_demand
+                trace, cross_demand, scheduler=scheduler, router=router
             )
         elif self.config.transport_backend == "round":
             self.link = link if link is not None else BottleneckLink(
@@ -189,7 +203,24 @@ class StreamingSession:
 
     # ------------------------------------------------------------------
     def run(self) -> SessionMetrics:
-        """Stream the whole video and return the metrics."""
+        """Stream the whole video, blocking, and return the metrics.
+
+        Equivalent to driving :meth:`steps` to completion on a private
+        clock — the legacy single-session mode, byte-identical to the
+        pre-kernel implementation.
+        """
+        return drive(self.steps(), self.clock, scheduler=self.scheduler)
+
+    def steps(self):
+        """The session as a resumable kernel process.
+
+        A generator state machine cycling request → progress rounds →
+        idle/retransmit → playback for every segment; it yields control
+        (sleep times or wake handles) to whatever drives it — either
+        :func:`~repro.network.events.drive` (solo) or a
+        :class:`~repro.network.events.SimKernel` interleaving N sessions
+        on one shared bottleneck.  Returns the session metrics.
+        """
         video = self.prepared.video
         last_quality: Optional[int] = None
         start_clock = self.clock.now
@@ -206,13 +237,13 @@ class StreamingSession:
                 partially_reliable=self.config.partially_reliable,
                 num_levels=self.manifest.num_levels,
             )
-        self._before_session()
+        yield from self._before_session()
         for index in range(video.num_segments):
-            self._before_segment(index)
-            self._wait_for_room()
-            self._opportunistic_repair()
-            decision = self._decide(index, last_quality)
-            record = self._stream_segment(index, decision)
+            yield from self._before_segment(index)
+            yield from self._wait_for_room()
+            yield from self._opportunistic_repair()
+            decision = yield from self._decide(index, last_quality)
+            record = yield from self._stream_segment(index, decision)
             self._records.append(record)
             self._ctr_segments.inc()
             last_quality = record.quality
@@ -220,7 +251,7 @@ class StreamingSession:
                 index, record.quality, record.bytes_delivered,
                 record.download_time,
             )
-            self._after_segment(index, record)
+            yield from self._after_segment(index, record)
 
         # Drain the remaining buffer (playback finishes).
         self.buffer.drain(self.buffer.level_s)
@@ -246,8 +277,13 @@ class StreamingSession:
         return metrics
 
     # ------------------------------------------------------------------
-    def _build_packet_connection(self, trace, cross_demand):
-        """Construct the event-driven per-packet transport backend."""
+    def _build_packet_connection(self, trace, cross_demand,
+                                 scheduler=None, router=None):
+        """Construct the event-driven per-packet transport backend.
+
+        Pass an existing ``scheduler``/``router`` pair to share one
+        bottleneck (and one event loop) across several sessions.
+        """
         from repro.network.crosstraffic import cross_traffic_available
         from repro.network.events import EventScheduler
         from repro.network.packetlink import PacketRouter
@@ -258,14 +294,17 @@ class StreamingSession:
             effective = cross_traffic_available(
                 trace.mean_mbps(), cross_demand
             )
-        scheduler = EventScheduler(self.clock.now)
-        queue = self.config.queue_packets
-        router = PacketRouter(
-            scheduler,
-            effective,
-            queue_packets=queue if queue is not None else 32,
-            propagation_s=self.config.base_rtt / 2.0,
-        )
+        if scheduler is None:
+            scheduler = EventScheduler(self.clock.now)
+        if router is None:
+            queue = self.config.queue_packets
+            router = PacketRouter(
+                scheduler,
+                effective,
+                queue_packets=queue if queue is not None else 32,
+                propagation_s=self.config.base_rtt / 2.0,
+            )
+        self.scheduler = scheduler
         return PacketLevelConnection(
             router,
             scheduler,
@@ -294,7 +333,9 @@ class StreamingSession:
             total = int(total * window / self.manifest.num_segments)
         elif mode != "full":
             raise ValueError(f"unknown manifest_fetch mode {mode!r}")
-        result = self.connection.download(total, reliable=True)
+        result = yield from self.connection.download_iter(
+            total, reliable=True
+        )
         self._startup_delay += result.elapsed
         if self.tracer.enabled:
             self.tracer.emit(
@@ -302,11 +343,15 @@ class StreamingSession:
                 elapsed=result.elapsed,
             )
 
-    def _before_segment(self, index: int) -> None:
+    def _before_segment(self, index: int):
         """Hook before each segment's decision (subclass extension)."""
+        return
+        yield  # pragma: no cover - makes the hook a kernel process
 
-    def _after_segment(self, index: int, record: SegmentRecord) -> None:
+    def _after_segment(self, index: int, record: SegmentRecord):
         """Hook after each segment completes (subclass extension)."""
+        return
+        yield  # pragma: no cover - makes the hook a kernel process
 
     # ------------------------------------------------------------------
     def _record_stall(self, stall: float, segment: int = -1) -> None:
@@ -319,14 +364,14 @@ class StreamingSession:
             self.tracer.emit(ev.STALL, duration=stall, segment=segment)
 
     # ------------------------------------------------------------------
-    def _wait_for_room(self) -> None:
+    def _wait_for_room(self):
         """Idle until the buffer can take one more in-flight segment."""
         overhang = self.buffer.level_s - self.buffer.capacity_s
         if overhang <= 1e-9:
             return
-        self._idle(overhang)
+        yield from self._idle(overhang)
 
-    def _opportunistic_repair(self) -> None:
+    def _opportunistic_repair(self):
         """Repair losses whenever the buffer is comfortably full (§4.2).
 
         The paper's client re-requests lost data "when the playback
@@ -348,12 +393,12 @@ class StreamingSession:
         if margin <= 0.25:
             return
         t0 = self.clock.now
-        self._repair_losses(deadline=t0 + margin)
+        yield from self._repair_losses(deadline=t0 + margin)
         elapsed = self.clock.now - t0
         if elapsed > 0:
             self._record_stall(self.buffer.drain(elapsed))
 
-    def _idle(self, duration: float) -> None:
+    def _idle(self, duration: float):
         """Pass ``duration`` seconds of playback, repairing losses."""
         t0 = self.clock.now
         deadline = t0 + duration
@@ -362,14 +407,14 @@ class StreamingSession:
             and self.http.voxel_capable
             and not self.config.force_reliable_payload
         ):
-            self._repair_losses(deadline)
+            yield from self._repair_losses(deadline)
         remaining = deadline - self.clock.now
         if remaining > 0:
-            self.connection.idle(remaining)
+            yield from self.connection.idle_iter(remaining)
         elapsed = self.clock.now - t0
         self._record_stall(self.buffer.drain(elapsed))
 
-    def _repair_losses(self, deadline: float) -> None:
+    def _repair_losses(self, deadline: float):
         """Selective retransmission of lost bytes during idle time."""
         playhead = self.buffer.media_time()
         t0 = self.clock.now
@@ -391,7 +436,9 @@ class StreamingSession:
             budget = int(
                 max(self.throughput_estimate, 1e5) * time_left / 8.0
             )
-            repaired = self.http.refetch_lost(pending.delivery, budget)
+            repaired = yield from self.http.refetch_lost_iter(
+                pending.delivery, budget
+            )
             if repaired > 0:
                 pending.record.repaired_bytes += repaired
                 pending.record.residual_loss_bytes = (
@@ -412,7 +459,7 @@ class StreamingSession:
                 self._pending_repairs.remove(pending)
 
     # ------------------------------------------------------------------
-    def _decide(self, index: int, last_quality: Optional[int]) -> Decision:
+    def _decide(self, index: int, last_quality: Optional[int]):
         while True:
             ctx = self._context(index, last_quality)
             with timed("abr.choose"):
@@ -432,10 +479,10 @@ class StreamingSession:
                 )
             if decision.wait_s <= 0:
                 return decision
-            self._idle(decision.wait_s)
+            yield from self._idle(decision.wait_s)
 
     # ------------------------------------------------------------------
-    def _stream_segment(self, index: int, decision: Decision) -> SegmentRecord:
+    def _stream_segment(self, index: int, decision: Decision):
         buffer_at_start = self.buffer.level_s
         t_start = self.clock.now
         restarts = 0
@@ -460,7 +507,7 @@ class StreamingSession:
                     wire_bytes=total_wire,
                     attempt=restarts,
                 )
-            delivery = self._fetch(entry, decision, progress)
+            delivery = yield from self._fetch(entry, decision, progress)
             if restart_to:
                 wasted += delivery.bytes_delivered
                 restarts += 1
@@ -649,23 +696,25 @@ class StreamingSession:
 
         return progress
 
-    def _fetch(self, entry, decision: Decision, progress) -> SegmentDelivery:
+    def _fetch(self, entry, decision: Decision, progress):
         if decision.skip_frames is not None and self.connection.partially_reliable:
-            return self._fetch_skip_frames(entry, decision, progress)
+            delivery = yield from self._fetch_skip_frames(
+                entry, decision, progress
+            )
+            return delivery
         target = decision.target_bytes
         force_reliable = (
             self.config.force_reliable_payload or not decision.unreliable
         )
-        return self.http.fetch_segment(
+        delivery = yield from self.http.fetch_segment_iter(
             entry,
             target_bytes=target,
             progress=progress,
             force_reliable=force_reliable,
         )
+        return delivery
 
-    def _fetch_skip_frames(
-        self, entry, decision: Decision, progress
-    ) -> SegmentDelivery:
+    def _fetch_skip_frames(self, entry, decision: Decision, progress):
         """BETA-style request: the segment minus specific frames, reliable."""
         segment = self.prepared.video.segment(decision.quality, entry.index)
         skip = tuple(decision.skip_frames or ())
@@ -673,7 +722,7 @@ class StreamingSession:
             segment.frames[idx].payload_bytes for idx in skip
         )
         nbytes = entry.total_bytes - skipped_payload
-        result = self.connection.download(
+        result = yield from self.connection.download_iter(
             nbytes, reliable=True, progress=progress
         )
         return SegmentDelivery(

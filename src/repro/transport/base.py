@@ -1,0 +1,79 @@
+"""Shared transport contract: types and constants both backends honour.
+
+The round-based (:mod:`repro.transport.connection`) and packet-level
+(:mod:`repro.transport.packet_connection`) backends implement the same
+download interface against the same byte-accounting types.  This module
+is the single home of that contract, so the two implementations cannot
+drift apart on the meaning of a :class:`DownloadResult` or the cost of a
+request round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+ByteInterval = Tuple[int, int]  # (start, end), end exclusive
+
+# Idle gap after which QUIC collapses the congestion window.
+IDLE_TIMEOUT = 1.0  # seconds
+# One round trip of request latency per HTTP request.
+REQUEST_RTT_COST = 1.0
+# Per-packet header overhead (QUIC + UDP + IP over a 1500-byte MTU): only
+# this fraction of every packet carries application payload.
+PAYLOAD_FRACTION = 0.94
+
+
+@dataclass
+class DownloadResult:
+    """Outcome of one stream download.
+
+    Attributes:
+        requested: bytes the request asked for (after any truncation).
+        delivered: bytes that actually arrived.
+        lost: byte intervals (offsets within the request) lost in transit
+            on an unreliable stream.  Always empty for reliable streams.
+        elapsed: wall-clock seconds the download took.
+        truncated_at: if the progress callback cut the request short, the
+            byte offset where it stopped; ``None`` otherwise.
+        rounds: number of congestion rounds used.
+    """
+
+    requested: int
+    delivered: int
+    lost: List[ByteInterval]
+    elapsed: float
+    truncated_at: Optional[int] = None
+    rounds: int = 0
+    request_latency: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.truncated_at is None and not self.lost
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.requested == 0:
+            return 0.0
+        lost = sum(end - start for start, end in self.lost)
+        return lost / self.requested
+
+
+# Progress callback: (elapsed_seconds, bytes_sent_so_far) -> new byte limit
+# for the request, or None to continue unchanged.
+ProgressFn = Callable[[float, int], Optional[int]]
+
+
+def merge_intervals(intervals: List[ByteInterval]) -> List[ByteInterval]:
+    """Merge overlapping/adjacent byte intervals (kept sorted)."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged

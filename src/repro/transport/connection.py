@@ -11,81 +11,61 @@ stream flavours exist:
   re-request them selectively (§4.2) via ordinary range requests.
 
 Downloads run round-by-round: each round offers ``cwnd`` packets to the
-link, learns what was tail-dropped, updates CUBIC, and advances the
-shared simulation clock by the experienced RTT.  An application-supplied
-progress callback may truncate the request mid-flight — the hook ABR*
-uses for mid-segment adjustments and smart abandonment.
+link, learns what was tail-dropped, updates CUBIC, and yields the
+experienced RTT to whatever is driving the simulation — either
+:func:`~repro.network.events.drive` (the legacy blocking single-session
+mode, via :meth:`QuicConnection.download`) or a
+:class:`~repro.network.events.SimKernel` interleaving many sessions on
+one shared link (via :meth:`QuicConnection.download_iter`).  An
+application-supplied progress callback may truncate the request
+mid-flight — the hook ABR* uses for mid-segment adjustments and smart
+abandonment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.network.clock import Clock
+from repro.network.events import drive
 from repro.network.link import BottleneckLink
 from repro.obs import events as ev
 from repro.obs.metrics import get_registry
 from repro.obs.profiling import timed
 from repro.obs.tracer import NULL_TRACER
+from repro.transport.base import (
+    ByteInterval,
+    DownloadResult,
+    IDLE_TIMEOUT,
+    PAYLOAD_FRACTION,
+    ProgressFn,
+    REQUEST_RTT_COST,
+    merge_intervals,
+)
 from repro.transport.cubic import CubicController
 
-ByteInterval = Tuple[int, int]  # (start, end), end exclusive
+# Backward-compatible aliases: these names historically lived here and
+# are imported by tests and downstream code.
+_merge_intervals = merge_intervals
 
-# Idle gap after which QUIC collapses the congestion window.
-IDLE_TIMEOUT = 1.0  # seconds
-# One round trip of request latency per HTTP request.
-REQUEST_RTT_COST = 1.0
-# Per-packet header overhead (QUIC + UDP + IP over a 1500-byte MTU): only
-# this fraction of every packet carries application payload.
-PAYLOAD_FRACTION = 0.94
-
-
-@dataclass
-class DownloadResult:
-    """Outcome of one stream download.
-
-    Attributes:
-        requested: bytes the request asked for (after any truncation).
-        delivered: bytes that actually arrived.
-        lost: byte intervals (offsets within the request) lost in transit
-            on an unreliable stream.  Always empty for reliable streams.
-        elapsed: wall-clock seconds the download took.
-        truncated_at: if the progress callback cut the request short, the
-            byte offset where it stopped; ``None`` otherwise.
-        rounds: number of congestion rounds used.
-    """
-
-    requested: int
-    delivered: int
-    lost: List[ByteInterval]
-    elapsed: float
-    truncated_at: Optional[int] = None
-    rounds: int = 0
-    request_latency: float = 0.0
-
-    @property
-    def complete(self) -> bool:
-        return self.truncated_at is None and not self.lost
-
-    @property
-    def loss_fraction(self) -> float:
-        if self.requested == 0:
-            return 0.0
-        lost = sum(end - start for start, end in self.lost)
-        return lost / self.requested
-
-
-# Progress callback: (elapsed_seconds, bytes_sent_so_far) -> new byte limit
-# for the request, or None to continue unchanged.
-ProgressFn = Callable[[float, int], Optional[int]]
+__all__ = [
+    "ByteInterval",
+    "DownloadResult",
+    "IDLE_TIMEOUT",
+    "PAYLOAD_FRACTION",
+    "ProgressFn",
+    "QuicConnection",
+    "REQUEST_RTT_COST",
+    "merge_intervals",
+]
 
 
 class QuicConnection:
     """A congestion-controlled connection over a bottleneck link.
 
     Args:
-        link: the emulated bottleneck.
+        link: the emulated bottleneck (possibly shared with other
+            connections; the link accounts contention once >= 2 attach).
         clock: shared simulation clock (advanced during downloads).
         partially_reliable: whether unreliable streams are available
             (QUIC* = True; plain QUIC = False, every download is
@@ -105,6 +85,7 @@ class QuicConnection:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cc = CubicController()
         self._last_active: Optional[float] = None
+        link.attach()
         # Lifetime counters for experiment accounting.
         self.total_delivered = 0
         self.total_lost = 0
@@ -123,7 +104,19 @@ class QuicConnection:
         reliable: bool = True,
         progress: Optional[ProgressFn] = None,
     ) -> DownloadResult:
-        """Fetch ``nbytes`` over one stream.
+        """Blocking fetch of ``nbytes`` over one stream (legacy mode)."""
+        return drive(
+            self.download_iter(nbytes, reliable=reliable, progress=progress),
+            self.clock,
+        )
+
+    def download_iter(
+        self,
+        nbytes: int,
+        reliable: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ):
+        """Fetch ``nbytes`` over one stream, yielding time to the driver.
 
         On an unreliable stream the request's byte space ``[0, nbytes)``
         is sent exactly once in order; tail-dropped packets become lost
@@ -134,6 +127,10 @@ class QuicConnection:
         The progress callback runs after every round with the elapsed
         time and bytes sent so far; returning an integer truncates the
         request to that many bytes (never below what was already sent).
+
+        This is a kernel process: every ``yield dt`` suspends for ``dt``
+        simulated seconds (one request round trip or one congestion
+        round); the clock has advanced by ``dt`` when it resumes.
         """
         if nbytes < 0:
             raise ValueError(f"cannot download {nbytes} bytes")
@@ -151,7 +148,7 @@ class QuicConnection:
         # server and the first byte to come back.
         first_rtt = self.link.current_rtt(self.clock.now)
         latency = first_rtt * REQUEST_RTT_COST
-        self.clock.advance(latency)
+        yield latency
 
         limit = nbytes
         sent_new = 0  # first-transmission bytes sent so far (in order)
@@ -178,7 +175,7 @@ class QuicConnection:
 
             outcome = self.link.offer_round(self.clock.now, burst)
             rounds += 1
-            self.clock.advance(outcome.rtt)
+            yield outcome.rtt
 
             # Retransmissions ride at the front of the burst (they are
             # oldest data); tail drops therefore hit new data first.
@@ -253,7 +250,7 @@ class QuicConnection:
                     limit = max(min(new_limit, limit), sent_new)
 
         self._last_active = self.clock.now
-        lost_intervals = _merge_intervals(lost_intervals)
+        lost_intervals = merge_intervals(lost_intervals)
         self.total_delivered += delivered
         self.total_lost += sum(end - start for start, end in lost_intervals)
         self._ctr_rounds.inc(rounds)
@@ -274,10 +271,15 @@ class QuicConnection:
 
     def idle(self, dt: float) -> None:
         """Account an application idle period (player buffer full)."""
+        drive(self.idle_iter(dt), self.clock)
+
+    def idle_iter(self, dt: float):
+        """Kernel process form of :meth:`idle` (yields the idle time)."""
         if dt <= 0:
-            return
+            return None
         self.link.drain(self.clock.now, dt)
-        self.clock.advance(dt)
+        yield dt
+        return None
 
     # ------------------------------------------------------------------
     def _maybe_idle_restart(self) -> None:
@@ -287,18 +289,3 @@ class QuicConnection:
         ):
             self.cc.after_idle()
             self.link.drain(self._last_active, self.clock.now - self._last_active)
-
-
-def _merge_intervals(intervals: List[ByteInterval]) -> List[ByteInterval]:
-    """Merge overlapping/adjacent byte intervals (kept sorted)."""
-    if not intervals:
-        return []
-    intervals = sorted(intervals)
-    merged = [intervals[0]]
-    for start, end in intervals[1:]:
-        last_start, last_end = merged[-1]
-        if start <= last_end:
-            merged[-1] = (last_start, max(last_end, end))
-        else:
-            merged.append((start, end))
-    return merged

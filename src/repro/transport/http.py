@@ -21,6 +21,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.network.events import drive
 from repro.prep.manifest import SegmentEntry
 from repro.transport.connection import (
     ByteInterval,
@@ -145,10 +146,30 @@ class VoxelHttp:
         Returns:
             The realized :class:`SegmentDelivery`.
         """
-        if not self.voxel_capable:
-            return self._fetch_plain(entry, progress)
+        return drive(
+            self.fetch_segment_iter(
+                entry,
+                target_bytes=target_bytes,
+                progress=progress,
+                force_reliable=force_reliable,
+            ),
+            self.connection.clock,
+            scheduler=getattr(self.connection, "scheduler", None),
+        )
 
-        reliable_result = self.connection.download(
+    def fetch_segment_iter(
+        self,
+        entry: SegmentEntry,
+        target_bytes: Optional[int] = None,
+        progress: Optional[ProgressFn] = None,
+        force_reliable: bool = False,
+    ):
+        """Kernel process form of :meth:`fetch_segment` (same contract)."""
+        if not self.voxel_capable:
+            result = yield from self._fetch_plain_iter(entry, progress)
+            return result
+
+        reliable_result = yield from self.connection.download_iter(
             entry.reliable_size, reliable=True
         )
 
@@ -160,7 +181,7 @@ class VoxelHttp:
             payload_budget = max(min(target_bytes - entry.reliable_size,
                                      total_payload), 0)
 
-        unreliable_result = self.connection.download(
+        unreliable_result = yield from self.connection.download_iter(
             payload_budget,
             reliable=force_reliable,
             progress=progress,
@@ -186,7 +207,17 @@ class VoxelHttp:
         self, entry: SegmentEntry, progress: Optional[ProgressFn]
     ) -> SegmentDelivery:
         """Classic DASH fetch: whole segment, reliable, decode order."""
-        result = self.connection.download(
+        return drive(
+            self._fetch_plain_iter(entry, progress),
+            self.connection.clock,
+            scheduler=getattr(self.connection, "scheduler", None),
+        )
+
+    def _fetch_plain_iter(
+        self, entry: SegmentEntry, progress: Optional[ProgressFn]
+    ):
+        """Kernel process form of :meth:`_fetch_plain`."""
+        result = yield from self.connection.download_iter(
             entry.total_bytes, reliable=True, progress=progress
         )
         # A truncated reliable fetch means the tail of the segment in
@@ -221,6 +252,21 @@ class VoxelHttp:
         Repairs happen in priority order.  Returns the number of bytes
         repaired; ``delivery`` is updated in place.
         """
+        return drive(
+            self.refetch_lost_iter(
+                delivery, budget_bytes=budget_bytes, progress=progress
+            ),
+            self.connection.clock,
+            scheduler=getattr(self.connection, "scheduler", None),
+        )
+
+    def refetch_lost_iter(
+        self,
+        delivery: SegmentDelivery,
+        budget_bytes: Optional[int] = None,
+        progress: Optional[ProgressFn] = None,
+    ):
+        """Kernel process form of :meth:`refetch_lost`."""
         if not delivery.lost_intervals:
             return 0
         to_repair = delivery.lost_intervals
@@ -238,7 +284,7 @@ class VoxelHttp:
         if repair_bytes == 0:
             return 0
 
-        result = self.connection.download(
+        result = yield from self.connection.download_iter(
             repair_bytes, reliable=True, progress=progress
         )
         repaired = result.requested if result.truncated_at is None else result.truncated_at

@@ -1,6 +1,6 @@
 """Packet-level QUIC(*) connection over the event-driven router.
 
-Implements the same ``download()`` contract as
+Implements the same ``download()`` / ``download_iter()`` contract as
 :class:`repro.transport.connection.QuicConnection`, but at per-packet
 granularity: the sender keeps ``cwnd`` packets in flight, ACKs clock out
 new packets, CUBIC reacts to individual drops, and unreliable streams
@@ -9,29 +9,35 @@ record the exact byte intervals of dropped packets.
 This backend is ~2 orders of magnitude slower than the round-based one;
 it exists to validate the fast model (``benchmarks/bench_backends.py``)
 and to support per-packet experiments such as multi-flow fairness
-(:mod:`repro.experiments.fairness`).
+(:mod:`repro.experiments.fairness`).  Several connections can share one
+:class:`~repro.network.packetlink.PacketRouter` and one scheduler — each
+keeps its own per-download sender state, so concurrent flows (or full
+sessions on a :class:`~repro.network.events.SimKernel`) interleave at
+packet granularity.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.network.clock import Clock
-from repro.network.events import EventScheduler
+from repro.network.events import EventScheduler, Waiter, drive
 from repro.network.packetlink import MTU, Packet, PacketRouter
 from repro.obs import events as ev
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import NULL_TRACER
-from repro.transport.connection import (
+from repro.transport.base import (
     ByteInterval,
     DownloadResult,
     PAYLOAD_FRACTION,
     ProgressFn,
     REQUEST_RTT_COST,
-    _merge_intervals,
+    merge_intervals,
 )
 from repro.transport.cubic import CubicController
+
+# Backward-compatible alias (historically imported from connection.py).
+_merge_intervals = merge_intervals
 
 
 class PacketLevelConnection:
@@ -63,7 +69,7 @@ class PacketLevelConnection:
         self._ctr_delivered = registry.counter("transport.bytes_delivered")
         self._ctr_lost = registry.counter("transport.bytes_lost")
 
-        # Per-download state (reset in download()).
+        # Per-download state (reset in _arm()).
         self._reliable = True
         self._limit = 0
         self._next_offset = 0
@@ -78,6 +84,7 @@ class PacketLevelConnection:
         self._done = False
         self._done_time = 0.0
         self._round = 0  # send-burst counter (reset per download)
+        self._waiter: Optional[Waiter] = None  # wakes the download process
 
         # Lifetime counters.
         self.total_delivered = 0
@@ -206,23 +213,21 @@ class PacketLevelConnection:
         if not self._outstanding():
             self._done = True
             self._done_time = self.scheduler.now
+            if self._waiter is not None:
+                self._waiter.wake()
 
     # -- public API --------------------------------------------------------
-    def download(
+    def _arm(
         self,
         nbytes: int,
-        reliable: bool = True,
-        progress: Optional[ProgressFn] = None,
-    ) -> DownloadResult:
-        """Fetch ``nbytes``; same contract as the round-based backend."""
-        if nbytes < 0:
-            raise ValueError(f"cannot download {nbytes} bytes")
-        if not self.partially_reliable:
-            reliable = True
-        if nbytes == 0:
-            return DownloadResult(0, 0, [], 0.0)
+        reliable: bool,
+        progress: Optional[ProgressFn],
+    ) -> float:
+        """Reset per-download sender state and schedule the request.
 
-        requested_limit = nbytes
+        Returns the request latency; the first pump and completion check
+        fire after it.
+        """
         self._reliable = reliable
         self._limit = nbytes
         self._next_offset = 0
@@ -236,16 +241,55 @@ class PacketLevelConnection:
 
         # Request latency: one RTT.
         latency = (2 * self.router.propagation_s) * REQUEST_RTT_COST
-        start = self.scheduler.now
-        self._start_time = start
+        self._start_time = self.scheduler.now
         self.scheduler.schedule(latency, self._pump)
         self.scheduler.schedule(latency, self._check_done)
+        return latency
 
-        self.scheduler.run_until(lambda: self._done)
+    def download(
+        self,
+        nbytes: int,
+        reliable: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ) -> DownloadResult:
+        """Blocking fetch (legacy mode); same contract as the round backend."""
+        return drive(
+            self.download_iter(nbytes, reliable=reliable, progress=progress),
+            self.clock,
+            scheduler=self.scheduler,
+        )
+
+    def download_iter(
+        self,
+        nbytes: int,
+        reliable: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ):
+        """Fetch ``nbytes`` as a kernel process.
+
+        Arms the sender state machine, then yields a
+        :class:`~repro.network.events.Waiter` that fires when the last
+        outstanding packet is accounted for — the driver (kernel or
+        :func:`~repro.network.events.drive`) runs the event loop in the
+        meantime, interleaving any other flows on the shared router.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot download {nbytes} bytes")
+        if not self.partially_reliable:
+            reliable = True
+        if nbytes == 0:
+            return DownloadResult(0, 0, [], 0.0)
+
+        requested_limit = nbytes
+        latency = self._arm(nbytes, reliable, progress)
+        start = self._start_time
+        waiter = Waiter()
+        self._waiter = waiter
+        yield waiter
+        self._waiter = None
+
         elapsed = self.scheduler.now - start
-        self.clock.now = self.scheduler.now
-
-        lost = _merge_intervals(self._lost)
+        lost = merge_intervals(self._lost)
         truncated = self._limit if self._limit < requested_limit else None
         return DownloadResult(
             requested=self._limit,
@@ -257,7 +301,7 @@ class PacketLevelConnection:
         )
 
     def idle(self, dt: float) -> None:
-        """Advance event time while the application idles."""
+        """Advance event time while the application idles (blocking)."""
         if dt <= 0:
             return
         deadline = self.scheduler.now + dt
@@ -265,3 +309,18 @@ class PacketLevelConnection:
         if self.scheduler.now < deadline:
             self.scheduler.now = deadline
         self.clock.now = self.scheduler.now
+
+    def idle_iter(self, dt: float):
+        """Kernel process form of :meth:`idle`.
+
+        Unlike the blocking form (which may overshoot onto the first
+        event past the deadline), this sleeps until *exactly* ``dt``
+        later via a scheduled wake-up, letting other flows' events run
+        in the meantime.
+        """
+        if dt <= 0:
+            return None
+        waiter = Waiter()
+        self.scheduler.schedule(dt, waiter.wake)
+        yield waiter
+        return None

@@ -25,10 +25,11 @@ def test_payload_schema(payload):
     assert set(payload["benchmarks"]) == {
         "micro.decode_segment", "micro.abr_choose", "micro.transport_round",
         "macro.session.round", "macro.session.packet",
+        "macro.multiclient", "macro.parallel_runner",
     }
     for name, stats in payload["benchmarks"].items():
         assert stats["wall_s"] > 0, name
-        assert stats["kind"] in ("micro", "macro")
+        assert stats["kind"] in ("micro", "macro", "parallel")
 
 
 def test_micro_stats(payload):
@@ -50,6 +51,27 @@ def test_macro_stats(payload):
         assert stats["events"] > 0
         assert stats["peak_trace_bytes"] > 0
         assert stats["segments"] == 6
+
+
+def test_multiclient_stats(payload):
+    stats = payload["benchmarks"]["macro.multiclient"]
+    assert stats["kind"] == "macro"
+    assert stats["clients"] == 4
+    assert 0.0 < stats["jain_index"] <= 1.0
+    assert stats["events"] > 0
+    assert stats["sim_s"] > 0
+
+
+def test_parallel_runner_stats(payload):
+    stats = payload["benchmarks"]["macro.parallel_runner"]
+    assert stats["kind"] == "parallel"
+    assert stats["workers"] == 2
+    assert stats["reps"] == 4
+    assert stats["serial_wall_s"] > 0
+    assert stats["speedup"] == pytest.approx(
+        stats["serial_wall_s"] / stats["wall_s"]
+    )
+    assert stats["identical"] is True
 
 
 def test_suite_does_not_pollute_registry(tiny_prepared):

@@ -256,8 +256,9 @@ class TestCorruptedTraces:
 # Reporting surface.
 # ---------------------------------------------------------------------------
 class TestReporting:
-    def test_catalog_covers_eight_invariants(self):
-        assert len(INVARIANTS) == 8
+    def test_catalog_covers_nine_invariants(self):
+        assert len(INVARIANTS) == 9
+        assert "shared_link_conservation" in INVARIANTS
 
     def test_violation_string_pins_event(self):
         events = [
@@ -273,7 +274,7 @@ class TestReporting:
     def test_clean_report_format(self):
         report = audit_events([_session_start()])
         assert format_report(report) == (
-            "ok: 1 events, 8 invariants checked, 0 violations"
+            "ok: 1 events, 9 invariants checked, 0 violations"
         )
 
     def test_incremental_feed_matches_batch(self):

@@ -1,0 +1,218 @@
+"""Discrete-event kernel: clock hardening, scheduler, processes, drive."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network.clock import Clock
+from repro.network.events import EventScheduler, SimKernel, Waiter, drive
+
+
+# ---------------------------------------------------------------------------
+# Clock hardening.
+# ---------------------------------------------------------------------------
+def test_clock_advances():
+    clock = Clock()
+    assert clock.advance(1.5) == 1.5
+    assert clock.advance(0.0) == 1.5
+    assert clock.now == 1.5
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_clock_rejects_non_finite(bad):
+    clock = Clock()
+    with pytest.raises(ValueError, match="non-finite"):
+        clock.advance(bad)
+    assert clock.now == 0.0
+
+
+def test_clock_rejects_negative():
+    clock = Clock(5.0)
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+    assert clock.now == 5.0
+
+
+# ---------------------------------------------------------------------------
+# EventScheduler guards.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_schedule_rejects_non_finite_delay(bad):
+    scheduler = EventScheduler()
+    with pytest.raises(ValueError, match="non-finite"):
+        scheduler.schedule(bad, lambda: None)
+
+
+def test_schedule_rejects_negative_delay():
+    scheduler = EventScheduler()
+    with pytest.raises(ValueError, match="in the past"):
+        scheduler.schedule(-1.0, lambda: None)
+
+
+def test_step_refuses_event_behind_kernel_time():
+    scheduler = EventScheduler()
+    scheduler.schedule(0.5, lambda: None)
+    scheduler.now = 2.0  # simulate a corrupted/rewound loop
+    with pytest.raises(RuntimeError, match="scheduled in the past"):
+        scheduler.step()
+
+
+def test_cancel_skips_event():
+    scheduler = EventScheduler()
+    ran = []
+    event_id = scheduler.schedule(1.0, lambda: ran.append("a"))
+    scheduler.schedule(2.0, lambda: ran.append("b"))
+    scheduler.cancel(event_id)
+    scheduler.run_until(lambda: False)
+    assert ran == ["b"]
+    assert scheduler.now == 2.0
+
+
+# ---------------------------------------------------------------------------
+# Waiter semantics.
+# ---------------------------------------------------------------------------
+def test_waiter_wake_is_idempotent():
+    waiter = Waiter()
+    calls = []
+    waiter.on_wake(lambda: calls.append(1))
+    waiter.wake()
+    waiter.wake()
+    assert waiter.fired
+    assert calls == [1]
+
+
+def test_waiter_on_wake_after_fire_runs_immediately():
+    waiter = Waiter()
+    waiter.wake()
+    calls = []
+    waiter.on_wake(lambda: calls.append(1))
+    assert calls == [1]
+
+
+# ---------------------------------------------------------------------------
+# SimKernel processes.
+# ---------------------------------------------------------------------------
+def test_spawn_returns_value_through_waiter():
+    kernel = SimKernel()
+
+    def process():
+        yield 1.0
+        return "result"
+
+    done = kernel.spawn(process())
+    assert not done.fired
+    kernel.run()
+    assert done.fired
+    assert done.value == "result"
+    assert kernel.now == 1.0
+
+
+def test_kernel_syncs_clock_before_every_callback():
+    kernel = SimKernel()
+    seen = []
+
+    def process():
+        seen.append(kernel.clock.now)
+        yield 1.5
+        seen.append(kernel.clock.now)
+        yield 0.25
+        seen.append(kernel.clock.now)
+
+    kernel.spawn(process())
+    kernel.run()
+    assert seen == [0.0, 1.5, 1.75]
+    assert kernel.clock.now == kernel.now == 1.75
+
+
+def test_spawn_order_breaks_ties_deterministically():
+    kernel = SimKernel()
+    order = []
+
+    def process(label):
+        for _ in range(3):
+            order.append((kernel.now, label))
+            yield 1.0
+
+    kernel.spawn(process("a"))
+    kernel.spawn(process("b"))
+    kernel.run()
+    assert order == [
+        (0.0, "a"), (0.0, "b"),
+        (1.0, "a"), (1.0, "b"),
+        (2.0, "a"), (2.0, "b"),
+    ]
+
+
+def test_spawn_delay_offsets_start():
+    kernel = SimKernel()
+    starts = []
+
+    def process():
+        starts.append(kernel.now)
+        yield 1.0
+
+    kernel.spawn(process(), delay=2.5)
+    kernel.run()
+    assert starts == [2.5]
+
+
+def test_process_waits_on_waiter():
+    kernel = SimKernel()
+    gate = Waiter()
+
+    def opener():
+        yield 3.0
+        gate.value = "opened"
+        gate.wake()
+
+    def waiter_process():
+        got = yield gate
+        # The yield expression itself carries no value; read the Waiter.
+        assert got is None
+        return (kernel.now, gate.value)
+
+    done = kernel.spawn(waiter_process())
+    kernel.spawn(opener())
+    kernel.run()
+    assert done.value == (3.0, "opened")
+
+
+# ---------------------------------------------------------------------------
+# drive(): the legacy blocking execution mode.
+# ---------------------------------------------------------------------------
+def test_drive_advances_clock_on_float_yields():
+    clock = Clock()
+
+    def process():
+        yield 0.5
+        yield 0.25
+        return "done"
+
+    assert drive(process(), clock) == "done"
+    assert clock.now == 0.75
+
+
+def test_drive_runs_scheduler_for_waiters():
+    clock = Clock()
+    scheduler = EventScheduler()
+    waiter = Waiter()
+    scheduler.schedule(2.0, waiter.wake)
+
+    def process():
+        yield waiter
+        return "woken"
+
+    assert drive(process(), clock, scheduler=scheduler) == "woken"
+    assert clock.now == 2.0
+
+
+def test_drive_without_scheduler_rejects_waiter():
+    clock = Clock()
+
+    def process():
+        yield Waiter()
+
+    with pytest.raises(RuntimeError, match="no\\s+scheduler"):
+        drive(process(), clock)

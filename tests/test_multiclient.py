@@ -1,0 +1,142 @@
+"""Multi-client runs and the parallel trial executor: determinism first.
+
+The two headline guarantees of the shared kernel refactor:
+
+* a multi-client run is a pure function of (specs, trace, seed) — re-run
+  it and the global trace and every per-client metric is byte-identical;
+* ``run_trials(workers=K)`` is byte-identical to the serial run
+  (sessions, metrics dump, collected traces).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.multiclient import (
+    ClientSpec,
+    run_multiclient,
+)
+from repro.experiments.runner import ExperimentConfig, run_trials
+from repro.network.traces import constant_trace
+from repro.obs import audit_events
+from repro.obs.tracer import Tracer
+
+
+def _specs(count, video):
+    cycle = [
+        ("abr_star", True),
+        ("bola", True),
+        ("abr_star", False),
+        ("bola", False),
+    ]
+    return [
+        ClientSpec(
+            abr=cycle[i % 4][0],
+            video=video,
+            partially_reliable=cycle[i % 4][1],
+        )
+        for i in range(count)
+    ]
+
+
+def _run(tiny_prepared, count=2, seed=0, tracer=None):
+    return run_multiclient(
+        _specs(count, tiny_prepared.name),
+        trace=constant_trace(12.0),
+        seed=seed,
+        tracer=tracer,
+        prepared_map={tiny_prepared.name: tiny_prepared},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-client determinism.
+# ---------------------------------------------------------------------------
+def test_two_client_rerun_is_byte_identical(tiny_prepared):
+    tracer_a, tracer_b = Tracer(), Tracer()
+    first = _run(tiny_prepared, tracer=tracer_a)
+    second = _run(tiny_prepared, tracer=tracer_b)
+    assert tracer_a.to_jsonl() == tracer_b.to_jsonl()
+    for a, b in zip(first.clients, second.clients):
+        assert a.session_id == b.session_id
+        assert a.metrics == b.metrics
+
+
+def test_four_client_mixed_run_passes_audit(tiny_prepared):
+    tracer = Tracer()
+    result = _run(tiny_prepared, count=4, tracer=tracer)
+    assert len(result.clients) == 4
+    labels = {c.spec.label() for c in result.clients}
+    assert labels == {"abr_star/Q*", "bola/Q*", "abr_star/Q", "bola/Q"}
+    # Every session streamed the whole video despite contention.
+    for client in result.clients:
+        assert len(client.metrics.records) == 6
+        assert client.throughput_mbps > 0
+    assert 0.0 < result.jain_index <= 1.0
+    report = audit_events(tracer.events)
+    assert report.ok, [str(v) for v in report.violations]
+
+
+def test_multiclient_tags_events_and_emits_link_stats(tiny_prepared):
+    tracer = Tracer()
+    _run(tiny_prepared, count=2, tracer=tracer)
+    events = tracer.events
+    sessions = {e.fields.get("session_id") for e in events if e.fields.get("session_id")}
+    assert len(sessions) == 2
+    link_stats = [e for e in events if e.type == "link_stats"]
+    assert len(link_stats) == 1
+    stats = link_stats[-1].fields
+    assert stats["flows"] == 2
+    assert (
+        stats["delivered_packets"] + stats["dropped_packets"]
+        == stats["offered_packets"]
+    )
+
+
+def test_multiclient_requires_at_least_one_client(tiny_prepared):
+    with pytest.raises(ValueError, match="at least one client"):
+        run_multiclient([], trace=constant_trace(12.0))
+
+
+def test_multiclient_packet_backend_runs(tiny_prepared):
+    result = run_multiclient(
+        _specs(2, tiny_prepared.name),
+        trace=constant_trace(12.0),
+        backend="packet",
+        prepared_map={tiny_prepared.name: tiny_prepared},
+    )
+    for client in result.clients:
+        assert len(client.metrics.records) == 6
+    assert 0.0 < result.jain_index <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Parallel trial executor: serial/parallel identity.
+# ---------------------------------------------------------------------------
+def _config(video):
+    return ExperimentConfig(
+        video=video,
+        abr="bola",
+        trace="constant:16",
+        repetitions=4,
+        seed=3,
+    )
+
+
+def test_parallel_trials_identical_to_serial(tiny_prepared):
+    config = _config(tiny_prepared.name)
+    serial = run_trials(
+        config, prepared=tiny_prepared, collect_traces=True
+    )
+    parallel = run_trials(
+        config, prepared=tiny_prepared, workers=2, collect_traces=True
+    )
+    assert serial.sessions == parallel.sessions
+    assert serial.metrics == parallel.metrics
+    assert serial.traces == parallel.traces
+    assert len(serial.traces) == 4
+
+
+def test_parallel_traces_off_by_default(tiny_prepared):
+    summary = run_trials(_config(tiny_prepared.name), prepared=tiny_prepared)
+    assert summary.traces is None
