@@ -10,9 +10,14 @@ Runs the two halves of the system once:
 
 then prints the session metrics and compares against BOLA over plain
 QUIC — the paper's state-of-the-art baseline.
+
+Scenarios are declarative: a frozen :class:`ScenarioSpec` names every
+knob, serializes to JSON, and hashes stably — the same spec (or its
+JSON) reproduces the same session anywhere, and `repro sweep` runs
+whole grids of them.
 """
 
-from repro import prepare_video, stream
+from repro import ScenarioSpec, prepare_video, stream_spec
 
 
 def main() -> None:
@@ -31,12 +36,14 @@ def main() -> None:
     print(f"  segment 0 @ Q12 virtual levels: {points}")
 
     print("\nStreaming over a Verizon-like LTE trace (2-segment buffer)...")
-    voxel = stream(
-        prepared, abr="abr_star", trace="verizon", buffer_segments=2
+    scenario = ScenarioSpec(
+        video="bbb", abr="abr_star", trace="verizon",
+        reliability="quic*", buffer_segments=2,
     )
-    bola = stream(
-        prepared, abr="bola", trace="verizon", buffer_segments=2,
-        partially_reliable=False,
+    print(f"  scenario {scenario.spec_hash()}: {scenario.label()}")
+    voxel = stream_spec(scenario, prepared=prepared)
+    bola = stream_spec(
+        scenario.with_(abr="bola", reliability="quic"), prepared=prepared
     )
 
     for name, result in (("VOXEL", voxel), ("BOLA/QUIC", bola)):

@@ -39,11 +39,18 @@ _API_NAMES = (
     "PreparedVideo",
     "StreamResult",
     "available_abrs",
+    "available_backends",
+    "available_link_models",
     "available_traces",
     "available_videos",
     "prepare_video",
     "stream",
+    "stream_spec",
 )
+
+#: Scenario-spine names living in repro.core (not repro.core.api).
+_CORE_NAMES = ("ScenarioSpec", "StackBuilder", "build_session",
+               "reliability_mode")
 
 
 def __getattr__(name):
@@ -56,15 +63,10 @@ def __getattr__(name):
         from repro.core import api
 
         return getattr(api, name)
+    if name in _CORE_NAMES:
+        import repro.core as core
+
+        return getattr(core, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-__all__ = [
-    "PreparedVideo",
-    "StreamResult",
-    "available_abrs",
-    "available_traces",
-    "available_videos",
-    "prepare_video",
-    "stream",
-    "__version__",
-]
+__all__ = list(_API_NAMES) + list(_CORE_NAMES) + ["__version__"]

@@ -1,4 +1,15 @@
-"""ABR algorithms: Tput, BOLA, RobustMPC, BETA, BOLA-SSIM and ABR*."""
+"""ABR algorithms: Tput, BOLA, RobustMPC, BETA, BOLA-SSIM and ABR*.
+
+Algorithms are registered in the :data:`ABRS` registry; a
+:class:`~repro.core.spec.ScenarioSpec` names one by its registry key and
+:func:`make_abr` constructs it.  Registering a custom algorithm is one
+decorator — after which every entry point (``stream()``, ``repro
+stream``, ``repro sweep`` grids) accepts the new name::
+
+    @ABRS.register("greedy", "always fetch the top quality (demo)")
+    def _make_greedy(prepared=None, **kwargs):
+        return GreedyABR(**kwargs)
+"""
 
 from repro.abr.abr_star import AbrStar, BolaSsim, qoe_utility
 from repro.abr.base import (
@@ -16,36 +27,64 @@ from repro.abr.bola import Bola, Candidate
 from repro.abr.mpc import RobustMPC
 from repro.abr.panda import PandaABR
 from repro.abr.throughput import ThroughputABR
+from repro.core.registry import Registry
 
-ABR_NAMES = (
-    "tput", "panda", "bola", "mpc", "beta", "bola_ssim", "abr_star"
-)
+#: The ABR algorithm registry.  Factories take ``prepared`` (the
+#: :class:`~repro.prep.prepare.PreparedVideo`, which only BETA needs)
+#: plus the algorithm's own keyword arguments.
+ABRS = Registry("ABR")
+
+
+@ABRS.register("tput", "harmonic-mean throughput rule with safety margin")
+def _make_tput(prepared=None, **kwargs):
+    return ThroughputABR(**kwargs)
+
+
+@ABRS.register("panda", "PANDA: probe-and-adapt rate smoothing")
+def _make_panda(prepared=None, **kwargs):
+    return PandaABR(**kwargs)
+
+
+@ABRS.register("bola", "BOLA: Lyapunov buffer-based bitrate control")
+def _make_bola(prepared=None, **kwargs):
+    return Bola(**kwargs)
+
+
+@ABRS.register("mpc", "RobustMPC: model-predictive QoE lookahead")
+def _make_mpc(prepared=None, **kwargs):
+    return RobustMPC(**kwargs)
+
+
+@ABRS.register("beta", "BETA: frame-skipping deadline-aware baseline")
+def _make_beta(prepared=None, **kwargs):
+    if prepared is None:
+        raise ValueError("BETA requires the prepared video")
+    return BetaABR(prepared, **kwargs)
+
+
+@ABRS.register("bola_ssim", "BOLA with SSIM utilities (component study)",
+               aliases=("bola-ssim",))
+def _make_bola_ssim(prepared=None, **kwargs):
+    return BolaSsim(**kwargs)
+
+
+@ABRS.register("abr_star", "ABR*: VOXEL's QoE-optimizing BOLA derivative",
+               aliases=("abr-star", "voxel"))
+def _make_abr_star(prepared=None, **kwargs):
+    return AbrStar(**kwargs)
+
+
+#: Canonical algorithm names, in registration order (aliases excluded).
+ABR_NAMES = tuple(ABRS.names())
 
 
 def make_abr(name: str, prepared=None, **kwargs) -> ABRAlgorithm:
-    """Construct an ABR algorithm by name.
+    """Construct an ABR algorithm by registry name.
 
     ``beta`` needs the :class:`~repro.prep.prepare.PreparedVideo` (it
     precomputes its b-dropped segment variants from the video files).
     """
-    key = name.lower()
-    if key == "tput":
-        return ThroughputABR(**kwargs)
-    if key == "panda":
-        return PandaABR(**kwargs)
-    if key == "bola":
-        return Bola(**kwargs)
-    if key == "mpc":
-        return RobustMPC(**kwargs)
-    if key == "beta":
-        if prepared is None:
-            raise ValueError("BETA requires the prepared video")
-        return BetaABR(prepared, **kwargs)
-    if key in ("bola_ssim", "bola-ssim"):
-        return BolaSsim(**kwargs)
-    if key in ("abr_star", "abr-star", "voxel"):
-        return AbrStar(**kwargs)
-    raise KeyError(f"unknown ABR {name!r}; known: {', '.join(ABR_NAMES)}")
+    return ABRS.get(name)(prepared=prepared, **kwargs)
 
 
 __all__ = [
@@ -67,6 +106,7 @@ __all__ = [
     "PandaABR",
     "RobustMPC",
     "ThroughputABR",
+    "ABRS",
     "ABR_NAMES",
     "make_abr",
 ]

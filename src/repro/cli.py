@@ -11,6 +11,8 @@
     python -m repro bench --quick             # benchmark suite
     python -m repro bench --compare BENCH_main.json --threshold 10
     python -m repro compare bbb --trace tmobile --buffer 1
+    python -m repro sweep --spec grid.json --workers 4 --out results.jsonl
+    python -m repro sweep --abrs bola,abr_star --buffers 1,3 --dry-run
     python -m repro figure fig6 --light       # regenerate a paper figure
     python -m repro survey                    # the simulated user study
 
@@ -29,18 +31,30 @@ from typing import Dict, List, Optional
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    from repro import available_abrs, available_traces, available_videos
+    from repro import available_videos
+    from repro.abr import ABRS
+    from repro.network.linkmodels import LINK_MODELS
+    from repro.network.traces import TRACES
+    from repro.transport.backends import BACKENDS
 
+    # Every component registry, with the one-line descriptions captured
+    # at the registration sites — the catalog can never drift from what
+    # the StackBuilder accepts.
     data = {
         "videos": available_videos(),
-        "abrs": available_abrs(),
-        "traces": available_traces(),
+        "abrs": ABRS.describe(),
+        "traces": TRACES.describe(),
+        "backends": BACKENDS.describe(),
+        "link_models": LINK_MODELS.describe(),
     }
     if args.json:
         print(json.dumps(data, indent=2))
         return 0
-    for kind, names in data.items():
-        print(f"{kind}: {', '.join(names)}")
+    print(f"videos: {', '.join(data['videos'])}")
+    for kind in ("abrs", "traces", "backends", "link_models"):
+        print(f"{kind}:")
+        for name, description in data[kind].items():
+            print(f"  {name:14s} {description}")
     return 0
 
 
@@ -465,6 +479,97 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if comparison.failed else 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import (
+        SweepSpec,
+        dry_run_rows,
+        parse_rows_jsonl,
+        rows_to_jsonl,
+        run_sweep,
+        validate_rows,
+    )
+
+    if args.validate:
+        try:
+            with open(args.validate, encoding="utf-8") as handle:
+                rows = parse_rows_jsonl(handle)
+        except OSError as exc:
+            print(f"error: cannot read sweep output {args.validate!r}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        try:
+            count = validate_rows(rows)
+        except ValueError as exc:
+            print(f"error: invalid sweep output {args.validate!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.validate}: {count} rows ok")
+        return 0
+
+    if args.spec:
+        try:
+            with open(args.spec, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read sweep spec {args.spec!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            sweep = SweepSpec.from_json(text)
+        except ValueError as exc:
+            print(f"error: invalid sweep spec {args.spec!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        grid: Dict[str, List] = {}
+
+        def axis(field: str, raw: Optional[str], cast=str) -> None:
+            if raw:
+                grid[field] = [cast(v) for v in raw.split(",") if v]
+
+        axis("video", args.videos)
+        axis("abr", args.abrs)
+        axis("trace", args.traces)
+        axis("buffer_segments", args.buffers, int)
+        axis("reliability", args.reliability)
+        axis("backend", args.backends)
+        axis("seed", args.seeds, int)
+        if not grid:
+            print("error: provide --spec FILE or at least one grid flag "
+                  "(--videos/--abrs/--traces/--buffers/--reliability/"
+                  "--backends/--seeds)", file=sys.stderr)
+            return 2
+        sweep = SweepSpec(base={"repetitions": args.reps}, grid=grid)
+
+    try:
+        if args.dry_run:
+            rows = dry_run_rows(sweep)
+        else:
+            rows = run_sweep(sweep, workers=args.workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    jsonl = rows_to_jsonl(rows)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(jsonl)
+        except OSError as exc:
+            print(f"error: cannot write {args.out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {len(rows)} rows to {args.out}", file=sys.stderr)
+    if args.json or not args.out:
+        if args.dry_run and not args.json:
+            print(f"{len(rows)} scenarios:")
+            for row in rows:
+                print(f"  {row['spec_hash']}  {row['label']}")
+        else:
+            print(jsonl, end="")
+    return 0
+
+
 def _cmd_survey(args: argparse.Namespace) -> int:
     from repro.experiments.survey import DIMENSIONS, fig14_survey
 
@@ -630,6 +735,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.add_argument("--metrics", action="store_true",
                           help="print the metrics registry after the run")
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="expand a scenario grid and run every cell "
+        "(JSONL rows keyed by spec hash)",
+    )
+    p_sweep.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON sweep file with base/grid/scenarios "
+        "(mutually exclusive with the grid flags)",
+    )
+    p_sweep.add_argument("--videos", default=None,
+                         help="comma-separated video grid axis")
+    p_sweep.add_argument("--abrs", default=None,
+                         help="comma-separated ABR grid axis")
+    p_sweep.add_argument("--traces", default=None,
+                         help="comma-separated trace grid axis")
+    p_sweep.add_argument("--buffers", default=None,
+                         help="comma-separated buffer sizes (segments)")
+    p_sweep.add_argument(
+        "--reliability", default=None,
+        help="comma-separated reliability modes (quic*, quic, "
+        "quic*-rel, quic-rel)",
+    )
+    p_sweep.add_argument("--backends", default=None,
+                         help="comma-separated transport backends")
+    p_sweep.add_argument("--seeds", default=None,
+                         help="comma-separated trace seeds")
+    p_sweep.add_argument("--reps", type=int, default=3,
+                         help="repetitions per cell (grid-flag mode)")
+    p_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes across cells (results are "
+        "byte-identical to --workers 1)",
+    )
+    p_sweep.add_argument("--out", default=None, metavar="PATH",
+                         help="write JSONL rows to this file")
+    p_sweep.add_argument(
+        "--dry-run", action="store_true", dest="dry_run",
+        help="expand and validate the grid without simulating",
+    )
+    p_sweep.add_argument(
+        "--validate", default=None, metavar="PATH",
+        help="validate an existing sweep JSONL against the row schema "
+        "(spec hash round-trip included); exit 1 on violation",
+    )
+
     p_survey = sub.add_parser("survey", help="run the simulated user study")
     p_survey.add_argument("--clips", type=int, default=8)
     p_survey.add_argument("--participants", type=int, default=54)
@@ -649,6 +800,7 @@ _HANDLERS = {
     "multiclient": _cmd_multiclient,
     "figure": _cmd_figure,
     "survey": _cmd_survey,
+    "sweep": _cmd_sweep,
     "bench": _cmd_bench,
 }
 

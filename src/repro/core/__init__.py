@@ -1,21 +1,44 @@
-"""Top-level VOXEL API: prepare_video / stream convenience functions."""
+"""Top-level VOXEL API and the scenario spine.
 
-from repro.core.api import (
-    PreparedVideo,
-    StreamResult,
-    available_abrs,
-    available_traces,
-    available_videos,
-    prepare_video,
-    stream,
-)
+* :mod:`repro.core.api` — ``prepare_video()`` / ``stream()`` convenience
+  functions.
+* :mod:`repro.core.spec` — :class:`ScenarioSpec`, the frozen declarative
+  description of one evaluation cell with a stable content hash.
+* :mod:`repro.core.registry` — string-keyed component registries.
+* :mod:`repro.core.build` — :class:`StackBuilder`, turning a spec into a
+  ready :class:`~repro.player.session.StreamingSession`.
 
-__all__ = [
-    "PreparedVideo",
-    "StreamResult",
-    "available_abrs",
-    "available_traces",
-    "available_videos",
-    "prepare_video",
-    "stream",
-]
+Names resolve lazily (PEP 562) so ``repro.core.registry`` is importable
+from low-level packages without dragging in the whole stack.
+"""
+
+from repro.core.registry import Registry  # dependency-free; safe eagerly
+
+_API_NAMES = {
+    "PreparedVideo": "repro.core.api",
+    "StreamResult": "repro.core.api",
+    "available_abrs": "repro.core.api",
+    "available_backends": "repro.core.api",
+    "available_link_models": "repro.core.api",
+    "available_traces": "repro.core.api",
+    "available_videos": "repro.core.api",
+    "prepare_video": "repro.core.api",
+    "stream": "repro.core.api",
+    "stream_spec": "repro.core.api",
+    "ScenarioSpec": "repro.core.spec",
+    "reliability_mode": "repro.core.spec",
+    "StackBuilder": "repro.core.build",
+    "build_session": "repro.core.build",
+}
+
+
+def __getattr__(name):
+    if name in _API_NAMES:
+        import importlib
+
+        module = importlib.import_module(_API_NAMES[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = ["Registry"] + sorted(_API_NAMES)

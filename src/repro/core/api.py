@@ -12,6 +12,13 @@
 ``prepare_video`` runs VOXEL's one-time analysis (frame ranking, drop
 curves, manifest enrichment); ``stream`` plays the prepared video through
 an ABR algorithm over an emulated network and returns the full metrics.
+
+Both ``stream()`` and :func:`stream_spec` assemble the stack through the
+scenario spine: the keyword surface maps onto a
+:class:`~repro.core.spec.ScenarioSpec` and the
+:class:`~repro.core.build.StackBuilder` wires the session, so the
+convenience API, the experiment runner, and ``repro sweep`` all build
+identical stacks from identical descriptions.
 """
 
 from __future__ import annotations
@@ -19,11 +26,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.abr import ABR_NAMES, make_abr
-from repro.network.traces import TRACE_NAMES, NetworkTrace, get_trace
+from repro.abr import ABR_NAMES
+from repro.core.build import StackBuilder
+from repro.core.spec import ScenarioSpec, reliability_mode
+from repro.network.linkmodels import LINK_MODELS
+from repro.network.traces import TRACE_NAMES, NetworkTrace
 from repro.player.metrics import SessionMetrics
-from repro.player.session import SessionConfig, StreamingSession
+from repro.player.session import SessionConfig
 from repro.prep.prepare import PreparedVideo, get_prepared, prepare
+from repro.qoe.metrics import QoEMetric
+from repro.transport.backends import BACKENDS
 from repro.video.content import ALL_VIDEOS
 
 
@@ -62,6 +74,16 @@ def available_traces() -> List[str]:
     return list(TRACE_NAMES)
 
 
+def available_backends() -> List[str]:
+    """Transport backend names usable with ``ScenarioSpec(backend=...)``."""
+    return BACKENDS.names()
+
+
+def available_link_models() -> List[str]:
+    """Link-model names a transport backend can sit on."""
+    return LINK_MODELS.names()
+
+
 def prepare_video(name: str, cached: bool = True) -> PreparedVideo:
     """Run the offline VOXEL preparation for a catalog video.
 
@@ -73,6 +95,64 @@ def prepare_video(name: str, cached: bool = True) -> PreparedVideo:
     if cached:
         return get_prepared(name)
     return prepare(name)
+
+
+#: ``stream()`` session kwargs that map onto a spec field of the same
+#: name (the remaining SessionConfig knobs are handled explicitly).
+_PASSTHROUGH_SESSION_KWARGS = (
+    "server_voxel_aware",
+    "client_voxel_aware",
+    "selective_retransmission",
+    "retx_buffer_threshold",
+    "queue_packets",
+    "base_rtt",
+    "manifest_fetch",
+    "manifest_window_segments",
+)
+
+
+def _spec_from_stream_kwargs(
+    video: str,
+    abr: str,
+    trace: str,
+    buffer_segments: int,
+    partially_reliable: bool,
+    seed: int,
+    trace_shift_s: float,
+    abr_kwargs: Optional[Dict],
+    session_kwargs: Dict,
+) -> ScenarioSpec:
+    """Translate the ``stream()`` keyword surface into a ScenarioSpec."""
+    session_kwargs = dict(session_kwargs)
+    fields: Dict = {
+        "video": video,
+        "abr": abr,
+        "trace": trace,
+        "buffer_segments": buffer_segments,
+        "seed": seed,
+        "trace_shift_s": trace_shift_s,
+        "abr_kwargs": dict(abr_kwargs or {}),
+        "reliability": reliability_mode(
+            partially_reliable,
+            bool(session_kwargs.pop("force_reliable_payload", False)),
+        ),
+    }
+    if "transport_backend" in session_kwargs:
+        fields["backend"] = session_kwargs.pop("transport_backend")
+    if "metric" in session_kwargs:
+        metric = session_kwargs.pop("metric")
+        fields["metric"] = (
+            metric.name if isinstance(metric, QoEMetric) else metric
+        )
+    for key in _PASSTHROUGH_SESSION_KWARGS:
+        if key in session_kwargs:
+            fields[key] = session_kwargs.pop(key)
+    if session_kwargs:
+        unexpected = sorted(session_kwargs)[0]
+        raise TypeError(
+            f"stream() got an unexpected keyword argument {unexpected!r}"
+        )
+    return ScenarioSpec(**fields)
 
 
 def stream(
@@ -97,7 +177,9 @@ def stream(
         trace: network trace name (see :func:`available_traces`).
         buffer_segments: playback buffer size in segments.
         partially_reliable: QUIC* (True) or plain QUIC (False).
-        seed: trace generator seed.
+        seed: trace generator seed.  Only meaningful for named traces —
+            combining it with an explicit ``network_trace`` raises
+            ``ValueError`` rather than silently ignoring the seed.
         trace_shift_s: linear trace shift (repetition protocol of §5).
         abr_kwargs: extra keyword arguments for the ABR constructor.
         network_trace: pass an explicit trace object instead of a name.
@@ -106,19 +188,52 @@ def stream(
         **session_kwargs: forwarded to :class:`SessionConfig` (e.g.
             ``queue_packets=750``, ``selective_retransmission=False``).
     """
-    the_trace = (
-        network_trace
-        if network_trace is not None
-        else get_trace(trace, seed=seed)
-    ).shifted(trace_shift_s)
-    algorithm = make_abr(abr, prepared=prepared, **(abr_kwargs or {}))
-    config = SessionConfig(
+    if network_trace is not None and seed != 0:
+        raise ValueError(
+            "conflicting arguments: seed only applies to named traces, "
+            "but an explicit network_trace was passed alongside "
+            f"seed={seed}; seed the trace object itself (or drop one "
+            "of the two)"
+        )
+    spec = _spec_from_stream_kwargs(
+        video=prepared.video.name,
+        abr=abr,
+        trace=trace,
         buffer_segments=buffer_segments,
         partially_reliable=partially_reliable,
-        **session_kwargs,
+        seed=seed,
+        trace_shift_s=trace_shift_s,
+        abr_kwargs=abr_kwargs,
+        session_kwargs=session_kwargs,
     )
-    session = StreamingSession(
-        prepared, algorithm, the_trace, config, tracer=tracer
+    return stream_spec(
+        spec,
+        prepared=prepared,
+        network_trace=(
+            network_trace.shifted(trace_shift_s)
+            if network_trace is not None else None
+        ),
+        tracer=tracer,
     )
+
+
+def stream_spec(
+    spec: ScenarioSpec,
+    prepared: Optional[PreparedVideo] = None,
+    network_trace: Optional[NetworkTrace] = None,
+    tracer=None,
+) -> StreamResult:
+    """Stream one :class:`ScenarioSpec` and return the session metrics.
+
+    The declarative twin of :func:`stream`: every knob comes from the
+    spec, the stack is assembled by the
+    :class:`~repro.core.build.StackBuilder`, and the trace header is
+    stamped with the spec's content hash.
+    """
+    builder = StackBuilder(spec, prepared=prepared)
+    prepared = builder.prepared_video()
+    session = builder.build(network_trace=network_trace, tracer=tracer)
     metrics = session.run()
-    return StreamResult(metrics=metrics, prepared=prepared, config=config)
+    return StreamResult(
+        metrics=metrics, prepared=prepared, config=session.config
+    )

@@ -1,0 +1,191 @@
+"""`ScenarioSpec`: one frozen, hashable cell of the evaluation space.
+
+The paper's evaluation is a grid — {videos} x {ABRs} x {traces} x
+{buffer sizes} x {QUIC, QUIC*} (§5) — and every experiment in this repo
+is one point of that grid.  A :class:`ScenarioSpec` is the declarative,
+JSON-serializable description of such a point: which video, which ABR
+(with kwargs), which trace (with seed and shift), which transport
+backend and reliability mode, and every session knob.
+
+Specs are *frozen* and carry a **stable content hash**
+(:meth:`ScenarioSpec.spec_hash`): the SHA-256 of the canonical JSON
+serialization, independent of process, platform, and
+``PYTHONHASHSEED``.  The hash keys sweep output rows and is stamped
+into the trace header (``session_start.spec_hash``), so any recorded
+artifact is traceable to its exact configuration.
+
+Construction paths:
+
+* ``ScenarioSpec(video="bbb", abr="bola", ...)`` in code,
+* :meth:`ScenarioSpec.from_dict` / :meth:`from_json` for sweep files
+  (unknown keys are rejected with a clear error),
+* :meth:`~repro.experiments.runner.ExperimentConfig.to_scenario` for
+  the legacy experiment-config API.
+
+The :class:`~repro.core.build.StackBuilder` turns a spec into a ready
+:class:`~repro.player.session.StreamingSession`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional
+
+from repro.qoe.metrics import METRICS, QoEMetric
+
+#: Reliability modes: transport flavour x payload-reliability ablation.
+#: "quic*" is VOXEL's partially reliable transport; "quic" is the plain
+#: baseline; the "-rel" variants force the payload onto reliable streams
+#: (the "VOXEL rel" ablation of §D).
+RELIABILITY_MODES = ("quic*", "quic", "quic*-rel", "quic-rel")
+
+
+def reliability_mode(
+    partially_reliable: bool, force_reliable_payload: bool = False
+) -> str:
+    """The mode string for a (partially_reliable, force_reliable) pair."""
+    base = "quic*" if partially_reliable else "quic"
+    return base + ("-rel" if force_reliable_payload else "")
+
+
+def _encode_value(value):
+    """JSON-encode one spec value (QoE metric objects go by name)."""
+    if isinstance(value, QoEMetric):
+        return {"__qoe_metric__": value.name}
+    if isinstance(value, dict):
+        return {k: _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict):
+        if set(value) == {"__qoe_metric__"}:
+            return METRICS[value["__qoe_metric__"]]
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully specified streaming scenario (frozen, JSON-round-trippable).
+
+    Component names (``abr``, ``trace``, ``backend``) are resolved
+    against the registries at build time, so a spec can name components
+    registered after the spec was written.
+    """
+
+    # What to stream and how to adapt.
+    video: str = "bbb"
+    abr: str = "abr_star"
+    abr_kwargs: Dict = field(default_factory=dict)
+    # The network underneath.
+    trace: str = "verizon"
+    seed: int = 0
+    trace_shift_s: float = 0.0
+    cross_traffic_mbps: Optional[float] = None
+    link_mbps_under_cross: float = 20.0
+    # Transport flavour.
+    backend: str = "round"  # transport backend registry key
+    reliability: str = "quic*"  # see RELIABILITY_MODES
+    # Player / session knobs (mirror SessionConfig).
+    buffer_segments: int = 3
+    queue_packets: Optional[int] = 32
+    base_rtt: float = 0.060
+    selective_retransmission: bool = True
+    retx_buffer_threshold: float = 0.5
+    manifest_fetch: str = "free"
+    manifest_window_segments: int = 4
+    metric: str = "ssim"
+    server_voxel_aware: bool = True
+    client_voxel_aware: bool = True
+    # Evaluation protocol: repetitions with per-repetition trace shifts
+    # (the paper's d/reps linear-shift protocol).
+    repetitions: int = 1
+
+    def __post_init__(self):
+        if self.reliability not in RELIABILITY_MODES:
+            raise ValueError(
+                f"unknown reliability mode {self.reliability!r}; known: "
+                f"{', '.join(RELIABILITY_MODES)}"
+            )
+        if self.metric.lower() not in METRICS:
+            raise ValueError(
+                f"unknown QoE metric {self.metric!r}; known: "
+                f"{', '.join(sorted(METRICS))}"
+            )
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def partially_reliable(self) -> bool:
+        return self.reliability.startswith("quic*")
+
+    @property
+    def force_reliable_payload(self) -> bool:
+        return self.reliability.endswith("-rel")
+
+    def label(self) -> str:
+        pr = "Q*" if self.partially_reliable else "Q"
+        return (
+            f"{self.video}/{self.abr}/{pr}/{self.trace}"
+            f"/buf{self.buffer_segments}/{self.backend}"
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Plain JSON-ready dict (QoE metric objects encoded by name)."""
+        return {
+            f.name: _encode_value(getattr(self, f.name))
+            for f in fields(self)
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioSpec":
+        """Build a spec from a mapping, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"scenario spec must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioSpec field(s) {unknown}; known fields: "
+                f"{', '.join(sorted(known))}"
+            )
+        return cls(**{k: _decode_value(v) for k, v in data.items()})
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    def spec_hash(self) -> str:
+        """Stable 12-hex-digit content hash of the canonical JSON.
+
+        Identical across processes and platforms: the serialization
+        sorts keys and never touches Python's randomized ``hash()``.
+        """
+        digest = hashlib.sha256(self.to_json().encode("utf-8"))
+        return digest.hexdigest()[:12]
+
+    def __hash__(self) -> int:  # abr_kwargs is a dict; hash by content
+        return hash(self.spec_hash())
+
+    def with_(self, **overrides) -> "ScenarioSpec":
+        """A copy with fields replaced (frozen-dataclass convenience)."""
+        return replace(self, **overrides)

@@ -13,6 +13,12 @@ from repro.experiments.survey import (
     fig14_survey,
     run_survey,
 )
+from repro.experiments.sweep import (
+    SweepSpec,
+    dry_run_rows,
+    run_sweep,
+    validate_rows,
+)
 from repro.experiments import figures
 
 __all__ = [
@@ -21,6 +27,10 @@ __all__ = [
     "compare",
     "run_single",
     "run_trials",
+    "SweepSpec",
+    "dry_run_rows",
+    "run_sweep",
+    "validate_rows",
     "DIMENSIONS",
     "SurveyResult",
     "fig14_survey",

@@ -26,14 +26,15 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.abr import make_abr
+from repro.core.build import StackBuilder
+from repro.core.spec import ScenarioSpec, reliability_mode
 from repro.network.events import SimKernel
-from repro.network.link import BottleneckLink
+from repro.network.linkmodels import LINK_MODELS
 from repro.network.traces import NetworkTrace, get_trace
 from repro.obs import events as ev
 from repro.player.metrics import SessionMetrics
-from repro.player.session import SessionConfig, StreamingSession
-from repro.prep.prepare import PreparedVideo, get_prepared
+from repro.player.session import StreamingSession
+from repro.prep.prepare import PreparedVideo
 
 
 @dataclass
@@ -154,16 +155,17 @@ def run_multiclient(
     kernel = SimKernel()
     shared_link = None
     shared_router = None
+    # The shared bottleneck all clients contend for, from the link-model
+    # registry: the round backend shares one fluid BottleneckLink, the
+    # packet backend one droptail router on the kernel's event loop.
     if backend == "round":
-        shared_link = BottleneckLink(
+        shared_link = LINK_MODELS.get("droptail")(
             trace,
             queue_packets=queue_packets,
             base_rtt=base_rtt,
         )
     elif backend == "packet":
-        from repro.network.packetlink import PacketRouter
-
-        shared_router = PacketRouter(
+        shared_router = LINK_MODELS.get("packet-router")(
             kernel, trace, queue_packets=queue_packets,
             propagation_s=base_rtt / 2.0,
         )
@@ -173,24 +175,21 @@ def run_multiclient(
     sessions: List[StreamingSession] = []
     session_ids: List[str] = []
     for i, spec in enumerate(specs):
-        if prepared_map is not None and spec.video in prepared_map:
-            prepared = prepared_map[spec.video]
-        else:
-            prepared = get_prepared(spec.video)
-        abr = make_abr(spec.abr, prepared=prepared, **spec.abr_kwargs)
-        config = SessionConfig(
+        scenario = ScenarioSpec(
+            video=spec.video,
+            abr=spec.abr,
+            abr_kwargs=dict(spec.abr_kwargs),
+            trace=trace_name,
+            seed=seed,
+            reliability=reliability_mode(spec.partially_reliable),
             buffer_segments=spec.buffer_segments,
-            partially_reliable=spec.partially_reliable,
             queue_packets=queue_packets,
             base_rtt=base_rtt,
-            transport_backend=backend,
+            backend=backend,
         )
         session_id = f"c{i}-{spec.abr}-{'Qstar' if spec.partially_reliable else 'Q'}"
-        session = StreamingSession(
-            prepared,
-            abr,
-            trace,
-            config,
+        session = StackBuilder(scenario, prepared_map=prepared_map).build(
+            network_trace=trace,
             link=shared_link,
             tracer=tracer,
             clock=kernel.clock,

@@ -26,23 +26,24 @@ import multiprocessing
 
 import numpy as np
 
-from repro.abr import make_abr
-from repro.network.crosstraffic import (
-    CrossTrafficConfig,
-    generate_cross_demand,
-)
+from repro.core.build import StackBuilder
+from repro.core.spec import ScenarioSpec, reliability_mode
 from repro.network.traces import NetworkTrace, get_trace
 from repro.obs.metrics import MetricsRegistry, get_registry, scoped_registry
 from repro.obs.profiling import timed
 from repro.obs.tracer import Tracer
 from repro.player.metrics import SessionMetrics, percentile_across, stderr_across
-from repro.player.session import SessionConfig, StreamingSession
 from repro.prep.prepare import PreparedVideo, get_prepared
 
 
 @dataclass
 class ExperimentConfig:
-    """One cell of the paper's evaluation matrix."""
+    """One cell of the paper's evaluation matrix.
+
+    The historical imperative twin of :class:`ScenarioSpec`;
+    :meth:`to_scenario` converts losslessly, and every runner entry
+    point accepts either form.
+    """
 
     video: str = "bbb"
     abr: str = "bola"
@@ -61,6 +62,37 @@ class ExperimentConfig:
     def label(self) -> str:
         pr = "Q*" if self.partially_reliable else "Q"
         return f"{self.video}/{self.abr}/{pr}/{self.trace}/buf{self.buffer_segments}"
+
+    def to_scenario(self, shift_s: float = 0.0) -> ScenarioSpec:
+        """The equivalent declarative spec (``shift_s`` = trace shift)."""
+        return ScenarioSpec(
+            video=self.video,
+            abr=self.abr,
+            abr_kwargs=dict(self.abr_kwargs),
+            trace=self.trace,
+            seed=self.seed,
+            trace_shift_s=shift_s,
+            cross_traffic_mbps=self.cross_traffic_mbps,
+            link_mbps_under_cross=self.link_mbps_under_cross,
+            reliability=reliability_mode(
+                self.partially_reliable, self.force_reliable_payload
+            ),
+            buffer_segments=self.buffer_segments,
+            queue_packets=self.queue_packets,
+            selective_retransmission=self.selective_retransmission,
+            repetitions=self.repetitions,
+        )
+
+
+def _as_scenario(config, shift_s: float = 0.0) -> ScenarioSpec:
+    """Normalize an ExperimentConfig or ScenarioSpec to a shifted spec."""
+    if isinstance(config, ScenarioSpec):
+        if shift_s:
+            return config.with_(
+                trace_shift_s=config.trace_shift_s + shift_s
+            )
+        return config
+    return config.to_scenario(shift_s=shift_s)
 
 
 @dataclass
@@ -119,58 +151,41 @@ class TrialSummary:
         }
 
 
-def _resolve_trace(config: ExperimentConfig) -> NetworkTrace:
+def _resolve_trace(config) -> NetworkTrace:
+    """The unshifted capacity trace of a config or spec (duck-typed)."""
     if config.cross_traffic_mbps is not None:
         return get_trace(f"constant:{config.link_mbps_under_cross}")
     return get_trace(config.trace, seed=config.seed)
 
 
 def run_single(
-    config: ExperimentConfig,
+    config,
     shift_s: float = 0.0,
     prepared: Optional[PreparedVideo] = None,
     trace: Optional[NetworkTrace] = None,
     tracer=None,
 ) -> SessionMetrics:
-    """Run one streaming session for the configuration."""
+    """Run one streaming session for the configuration.
+
+    ``config`` is an :class:`ExperimentConfig` or a
+    :class:`~repro.core.spec.ScenarioSpec`; either way the stack is
+    assembled by the :class:`~repro.core.build.StackBuilder`.
+    """
+    spec = _as_scenario(config, shift_s=shift_s)
     get_registry().counter(
-        "experiments.sessions", abr=config.abr, trace=config.trace
+        "experiments.sessions", abr=spec.abr, trace=spec.trace
     ).inc()
-    if prepared is None:
-        prepared = get_prepared(config.video)
-    if trace is None:
-        trace = _resolve_trace(config)
-    trace = trace.shifted(shift_s)
-
-    cross = None
-    if config.cross_traffic_mbps is not None:
-        cross = generate_cross_demand(
-            CrossTrafficConfig(
-                target_mbps=config.cross_traffic_mbps,
-                link_mbps=config.link_mbps_under_cross,
-                seed=config.seed + int(shift_s * 1000) % 997,
-            ),
-            duration=int(trace.duration),
-        )
-
-    abr = make_abr(config.abr, prepared=prepared, **config.abr_kwargs)
-    session_config = SessionConfig(
-        buffer_segments=config.buffer_segments,
-        partially_reliable=config.partially_reliable,
-        force_reliable_payload=config.force_reliable_payload,
-        selective_retransmission=config.selective_retransmission,
-        queue_packets=config.queue_packets,
-    )
-    session = StreamingSession(
-        prepared, abr, trace, session_config, cross_demand=cross,
-        tracer=tracer,
+    if trace is not None:
+        trace = trace.shifted(shift_s)
+    session = StackBuilder(spec, prepared=prepared).build(
+        network_trace=trace, tracer=tracer
     )
     with timed("experiment.run_single"):
         return session.run()
 
 
 def _rep_session(
-    config: ExperimentConfig,
+    config,
     shift_s: float,
     prepared: PreparedVideo,
     trace: NetworkTrace,
@@ -211,8 +226,23 @@ def _trial_worker(
     return _rep_session(config, shift_s, prepared, trace, collect_trace)
 
 
+def _fork_map(worker, tasks: Sequence, workers: int) -> List:
+    """Fan ``tasks`` out over fork()ed workers, results in task order.
+
+    fork() children inherit the parent's memory snapshot (prepared-video
+    caches, module globals), so inputs are identical to an in-process
+    run; mapping preserves order, so folding results is deterministic.
+    Shared machinery of :func:`run_trials` and the sweep engine.
+    """
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)), mp_context=ctx
+    ) as pool:
+        return list(pool.map(worker, tasks))
+
+
 def run_trials(
-    config: ExperimentConfig,
+    config,
     prepared: Optional[PreparedVideo] = None,
     workers: int = 1,
     collect_traces: bool = False,
@@ -220,7 +250,8 @@ def run_trials(
     """Run all repetitions with per-repetition trace shifting.
 
     Args:
-        config: the experiment cell.
+        config: the experiment cell (:class:`ExperimentConfig` or
+            :class:`~repro.core.spec.ScenarioSpec`).
         prepared: pre-analyzed video (looked up by name if omitted).
         workers: worker processes; ``1`` runs serially in-process.  Any
             K produces byte-identical summaries (sessions, metrics dump,
@@ -252,14 +283,11 @@ def run_trials(
             # inputs to the serial path.
             _PARALLEL_PREPARED = prepared
             try:
-                ctx = multiprocessing.get_context("fork")
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, reps), mp_context=ctx
-                ) as pool:
-                    outcomes = list(pool.map(
-                        _trial_worker,
-                        [(config, shift, collect_traces) for shift in shifts],
-                    ))
+                outcomes = _fork_map(
+                    _trial_worker,
+                    [(config, shift, collect_traces) for shift in shifts],
+                    workers,
+                )
             finally:
                 _PARALLEL_PREPARED = None
         sessions = []

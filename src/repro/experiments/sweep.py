@@ -1,0 +1,311 @@
+"""Sweep engine: a declarative grid becomes scenarios becomes results.
+
+The paper's evaluation is a cartesian grid — {videos} x {ABRs} x
+{traces} x {buffers} x {QUIC, QUIC*} (§5).  A :class:`SweepSpec`
+describes such a grid declaratively (base field overrides, per-field
+value lists, plus explicit extra scenarios), :meth:`SweepSpec.expand`
+turns it into concrete :class:`~repro.core.spec.ScenarioSpec` cells
+(deduplicated by content hash), and :func:`run_sweep` executes every
+cell through the experiment runner — fanned out over fork() workers by
+the same machinery :func:`~repro.experiments.runner.run_trials` uses,
+with results folded in grid order so any worker count produces
+byte-identical output.
+
+Each scenario yields one JSONL row keyed by the spec's stable content
+hash — the same hash the session stamps into its trace header
+(``session_start.spec_hash``) — so sweep outputs, recorded traces, and
+the grid file cross-reference each other::
+
+    {"spec_hash": "6b1f...", "label": "bbb/bola/Q/verizon/buf3/round",
+     "spec": {...}, "summary": {"buf_ratio_p90": ..., "ssim": ...}}
+
+CLI: ``repro sweep --spec grid.json --workers 4 --out results.jsonl``
+(or grid flags like ``--abrs bola,abr_star --buffers 1,3``);
+``--dry-run`` prints the expansion without simulating.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.build import StackBuilder
+from repro.core.spec import ScenarioSpec
+from repro.experiments.runner import TrialSummary, _fork_map, run_trials
+from repro.obs.metrics import scoped_registry
+from repro.prep.prepare import PreparedVideo, get_prepared
+
+#: Keys of one result row (``summary`` is absent in --dry-run rows).
+ROW_KEYS = ("spec_hash", "label", "spec", "summary")
+
+#: Keys every row's ``summary`` object carries (superset allowed).
+SUMMARY_KEYS = (
+    "buf_ratio_p90", "buf_ratio_mean", "buf_ratio_stderr",
+    "bitrate_kbps", "ssim", "data_skipped", "repetitions",
+)
+
+
+@dataclass
+class SweepSpec:
+    """A declarative sweep: base overrides + grid axes + extras.
+
+    ``base`` maps :class:`ScenarioSpec` fields to values applied to
+    every cell; ``grid`` maps fields to value *lists* expanded
+    cartesianly (in key insertion order, first key outermost);
+    ``scenarios`` lists explicit extra cells (each a partial field
+    mapping layered over ``base``).  Unknown field names are rejected
+    when cells are instantiated.
+    """
+
+    name: str = "sweep"
+    base: Dict = field(default_factory=dict)
+    grid: Dict = field(default_factory=dict)
+    scenarios: List[Dict] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"sweep spec must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {"name", "base", "grid", "scenarios"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown SweepSpec field(s) {unknown}; known fields: "
+                f"{', '.join(sorted(known))}"
+            )
+        spec = cls(**data)
+        for axis, values in spec.grid.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(
+                    f"sweep grid axis {axis!r} must be a non-empty list"
+                )
+        return spec
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+    def expand(self) -> List[ScenarioSpec]:
+        """All concrete cells, deduplicated by content hash.
+
+        Expansion order is deterministic: the cartesian product of the
+        grid axes (first axis outermost), then the explicit scenarios.
+        """
+        cells: List[Dict] = []
+        axes = list(self.grid)
+        if axes:
+            for combo in itertools.product(
+                *(self.grid[axis] for axis in axes)
+            ):
+                fields = dict(self.base)
+                fields.update(zip(axes, combo))
+                cells.append(fields)
+        elif self.base and not self.scenarios:
+            cells.append(dict(self.base))
+        for extra in self.scenarios:
+            fields = dict(self.base)
+            fields.update(extra)
+            cells.append(fields)
+
+        specs: List[ScenarioSpec] = []
+        seen = set()
+        for fields in cells:
+            spec = ScenarioSpec.from_dict(fields)
+            key = spec.spec_hash()
+            if key not in seen:
+                seen.add(key)
+                specs.append(spec)
+        return specs
+
+
+# ---------------------------------------------------------------------------
+#: Prepared videos for fork()ed sweep workers, inherited via the fork
+#: memory snapshot: non-catalog videos (test fixtures) cannot be
+#: re-prepared by name in a child process.
+_SWEEP_PREPARED_MAP: Optional[Dict[str, PreparedVideo]] = None
+
+
+def _scenario_row(spec: ScenarioSpec, summary: TrialSummary) -> Dict:
+    """One JSONL result row, keyed by the spec's content hash."""
+    return {
+        "spec_hash": spec.spec_hash(),
+        "label": spec.label(),
+        "spec": spec.to_dict(),
+        "summary": dict(
+            summary.row(), repetitions=len(summary.sessions)
+        ),
+    }
+
+
+def _sweep_worker(spec: ScenarioSpec) -> Dict:
+    """Run one cell: all its repetitions, in an isolated metrics scope.
+
+    Both the serial and the forked path run exactly this function, so
+    any worker count computes identical rows (the scope also keeps
+    sweep cells from polluting the process-wide metrics registry, just
+    as a fork()ed child's registry dies with the child).
+    """
+    prepared = None
+    if _SWEEP_PREPARED_MAP is not None:
+        prepared = _SWEEP_PREPARED_MAP.get(spec.video)
+    with scoped_registry(merge=False):
+        summary = run_trials(spec, prepared=prepared, workers=1)
+    return _scenario_row(spec, summary)
+
+
+def run_sweep(
+    sweep: Union[SweepSpec, Sequence[ScenarioSpec]],
+    workers: int = 1,
+    prepared_map: Optional[Dict[str, PreparedVideo]] = None,
+) -> List[Dict]:
+    """Execute every cell of a sweep; one result row per scenario.
+
+    Args:
+        sweep: a :class:`SweepSpec` (expanded here) or an explicit
+            scenario list.
+        workers: worker processes across cells; any K produces rows
+            byte-identical to ``workers=1`` (cells are independent and
+            results are folded in expansion order).
+        prepared_map: ``video name -> PreparedVideo`` overriding the
+            catalog (fixtures, benchmarks).
+
+    Returns:
+        One row per scenario, in expansion order, each keyed by the
+        spec's stable content hash.
+    """
+    specs = sweep.expand() if isinstance(sweep, SweepSpec) else list(sweep)
+    for spec in specs:
+        StackBuilder(spec, prepared_map=prepared_map).validate()
+    # Pre-warm the catalog cache so fork()ed workers inherit every
+    # prepared video by memory snapshot instead of re-preparing.
+    for video in dict.fromkeys(spec.video for spec in specs):
+        if prepared_map is None or video not in prepared_map:
+            get_prepared(video)
+    global _SWEEP_PREPARED_MAP
+    _SWEEP_PREPARED_MAP = prepared_map
+    try:
+        if workers <= 1 or len(specs) <= 1:
+            rows = [_sweep_worker(spec) for spec in specs]
+        else:
+            rows = _fork_map(_sweep_worker, specs, workers)
+    finally:
+        _SWEEP_PREPARED_MAP = None
+    return rows
+
+
+def dry_run_rows(
+    sweep: Union[SweepSpec, Sequence[ScenarioSpec]],
+    prepared_map: Optional[Dict[str, PreparedVideo]] = None,
+) -> List[Dict]:
+    """Expand and validate without simulating: rows minus ``summary``.
+
+    Every component name is resolved against the registries, so a typo
+    in a grid file fails here rather than mid-sweep.
+    """
+    specs = sweep.expand() if isinstance(sweep, SweepSpec) else list(sweep)
+    rows = []
+    for spec in specs:
+        StackBuilder(spec, prepared_map=prepared_map).validate()
+        rows.append({
+            "spec_hash": spec.spec_hash(),
+            "label": spec.label(),
+            "spec": spec.to_dict(),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+def rows_to_jsonl(rows: Sequence[Dict]) -> str:
+    """Serialize rows as canonical JSONL (one compact object per line)."""
+    return "\n".join(
+        json.dumps(row, sort_keys=True, separators=(",", ":"))
+        for row in rows
+    ) + ("\n" if rows else "")
+
+
+def parse_rows_jsonl(lines: Iterable[str]) -> List[Dict]:
+    """Parse a sweep JSONL output (no validation; see validate_rows)."""
+    rows = []
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"unparseable sweep row on line {i + 1}: {exc}"
+            ) from None
+    return rows
+
+
+def validate_rows(rows: Sequence[Dict], require_summary: bool = True) -> int:
+    """Validate sweep rows against the output schema; returns the count.
+
+    Checks per row: the key set, that ``spec`` round-trips through
+    :class:`ScenarioSpec` to exactly ``spec_hash`` (so the hash keying
+    the row is honest), that ``label`` matches the spec, and that the
+    summary carries numeric values for every expected aggregate.
+    Raises ``ValueError`` on the first violation.
+    """
+    seen_hashes = set()
+    for i, row in enumerate(rows):
+        where = f"sweep row {i}"
+        if not isinstance(row, dict):
+            raise ValueError(f"{where}: not a JSON object")
+        required = {"spec_hash", "label", "spec"}
+        if require_summary:
+            required.add("summary")
+        missing = sorted(required - set(row))
+        if missing:
+            raise ValueError(f"{where}: missing key(s) {missing}")
+        extra = sorted(set(row) - set(ROW_KEYS))
+        if extra:
+            raise ValueError(f"{where}: unknown key(s) {extra}")
+        spec = ScenarioSpec.from_dict(row["spec"])
+        if spec.spec_hash() != row["spec_hash"]:
+            raise ValueError(
+                f"{where}: spec_hash {row['spec_hash']!r} does not match "
+                f"the spec's content hash {spec.spec_hash()!r}"
+            )
+        if row["label"] != spec.label():
+            raise ValueError(
+                f"{where}: label {row['label']!r} does not match the "
+                f"spec's label {spec.label()!r}"
+            )
+        if row["spec_hash"] in seen_hashes:
+            raise ValueError(
+                f"{where}: duplicate spec_hash {row['spec_hash']!r}"
+            )
+        seen_hashes.add(row["spec_hash"])
+        if "summary" in row:
+            summary = row["summary"]
+            if not isinstance(summary, dict):
+                raise ValueError(f"{where}: summary is not an object")
+            for key in SUMMARY_KEYS:
+                if key not in summary:
+                    raise ValueError(
+                        f"{where}: summary missing {key!r}"
+                    )
+                if not isinstance(summary[key], (int, float)):
+                    raise ValueError(
+                        f"{where}: summary[{key!r}] is not numeric"
+                    )
+    return len(rows)
+
+
+__all__ = [
+    "ROW_KEYS",
+    "SUMMARY_KEYS",
+    "SweepSpec",
+    "run_sweep",
+    "dry_run_rows",
+    "rows_to_jsonl",
+    "parse_rows_jsonl",
+    "validate_rows",
+]

@@ -9,6 +9,7 @@ from repro.network.crosstraffic import (
 from repro.network.link import BASE_RTT, MTU, BottleneckLink, RoundOutcome
 from repro.network.traces import (
     TRACE_NAMES,
+    TRACES,
     NetworkTrace,
     att_trace,
     constant_trace,
@@ -32,6 +33,7 @@ __all__ = [
     "BottleneckLink",
     "RoundOutcome",
     "TRACE_NAMES",
+    "TRACES",
     "NetworkTrace",
     "att_trace",
     "constant_trace",

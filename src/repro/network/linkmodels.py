@@ -1,0 +1,40 @@
+"""Link-model registry: the queueing substrate under a transport backend.
+
+Two models ship with the repo — the per-RTT fluid drop-tail bottleneck
+(:class:`~repro.network.link.BottleneckLink`, used by the "round"
+transport backend) and the event-driven per-packet FIFO router
+(:class:`~repro.network.packetlink.PacketRouter`, used by the "packet"
+backend and the fairness study).  Registering a custom model is one
+decorator; transport backends resolve models by name, so a new queueing
+discipline plugs in without touching the session code.
+"""
+
+from __future__ import annotations
+
+from repro.core.registry import Registry
+from repro.network.link import BottleneckLink
+
+#: The link-model registry.  Factories take the capacity trace plus the
+#: model's own knobs (queue size, propagation delay, ...).
+LINK_MODELS = Registry("link model")
+
+LINK_MODELS.register(
+    "droptail",
+    "per-RTT fluid drop-tail bottleneck (BottleneckLink)",
+)(BottleneckLink)
+
+
+def _packet_router(*args, **kwargs):
+    # Imported lazily: the packet-level stack is only paid for when used.
+    from repro.network.packetlink import PacketRouter
+
+    return PacketRouter(*args, **kwargs)
+
+
+LINK_MODELS.register(
+    "packet-router",
+    "event-driven per-packet FIFO drop-tail router (PacketRouter)",
+)(_packet_router)
+
+
+__all__ = ["LINK_MODELS"]

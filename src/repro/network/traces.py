@@ -20,9 +20,17 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+from repro.core.registry import Registry
+
+#: The network-trace registry.  Factories take ``seed`` plus generator
+#: kwargs (``duration``, ...).  ``repro list`` shows the descriptions;
+#: :func:`get_trace` resolves names (including the parametrized
+#: ``constant:<mbps>`` form handled before the registry lookup).
+TRACES = Registry("trace")
 
 
 @dataclass
@@ -130,6 +138,9 @@ def _regime_switching(
 _DEFAULT_DURATION = 320  # seconds; slightly longer than a 75x4 s video
 
 
+@TRACES.register(
+    "tmobile", "T-Mobile-LTE-like: extreme variability, long fades"
+)
 def tmobile_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
     """T-Mobile-LTE-like: extreme variability (std ~10 Mbps), long fades."""
     rng = _seed_from("tmobile", seed)
@@ -142,6 +153,9 @@ def tmobile_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTr
     return NetworkTrace("tmobile", raw).offset_to_mean(10.0)
 
 
+@TRACES.register(
+    "verizon", "Verizon-LTE-like: high variability, shorter fades"
+)
 def verizon_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
     """Verizon-LTE-like: high variability (std ~9 Mbps), shorter fades."""
     rng = _seed_from("verizon", seed)
@@ -154,6 +168,7 @@ def verizon_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTr
     return NetworkTrace("verizon", raw).offset_to_mean(10.0)
 
 
+@TRACES.register("att", "AT&T-LTE-like: mild variability, no deep fades")
 def att_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
     """AT&T-LTE-like: mild variability (std ~2.9 Mbps), no deep fades."""
     rng = _seed_from("att", seed)
@@ -165,6 +180,10 @@ def att_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
     return NetworkTrace("att", raw).offset_to_mean(10.0)
 
 
+@TRACES.register(
+    "3g", "Riiser 3G commute trace offset to 10 Mbps (low variability)",
+    aliases=("threeg",),
+)
 def threeg_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
     """The Riiser 3G commute trace, offset to 10 Mbps (std ~1.1 Mbps)."""
     rng = _seed_from("threeg", seed)
@@ -176,6 +195,9 @@ def threeg_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTra
     return NetworkTrace("3g", base).offset_to_mean(10.0)
 
 
+@TRACES.register(
+    "fcc", "FCC fixed-line broadband: stable with rare dips"
+)
 def fcc_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
     """FCC fixed-line broadband: stable with rare dips (std ~2.35 Mbps)."""
     rng = _seed_from("fcc", seed)
@@ -188,6 +210,9 @@ def fcc_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
     return NetworkTrace("fcc", raw).offset_to_mean(10.0)
 
 
+@TRACES.register(
+    "wild", "in-the-wild WiFi-like path: headroom with contention dips"
+)
 def wild_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
     """In-the-wild university-WiFi-like path (France -> Germany, §5.2).
 
@@ -251,15 +276,17 @@ def riiser_3g_corpus(
     return traces
 
 
-_GENERATORS: Dict[str, Callable[..., NetworkTrace]] = {
-    "tmobile": tmobile_trace,
-    "verizon": verizon_trace,
-    "att": att_trace,
-    "3g": threeg_trace,
-    "threeg": threeg_trace,
-    "fcc": fcc_trace,
-    "wild": wild_trace,
-}
+# Parametrized/synthetic entries: registered so ``repro list`` shows
+# them, but :func:`get_trace` resolves them before the registry lookup
+# (their factories take no ``seed``).
+TRACES.register(
+    "constant", "constant-bandwidth synthetic trace (constant:<mbps>)"
+)(lambda seed=0, mbps=10.5, **kw: constant_trace(mbps, **kw))
+TRACES.register(
+    "step", "step trace of Fig. 11c: 10.75 Mbps dropping to 10.5 at 70 s"
+)(lambda seed=0, **kw: step_trace(**kw))
+
+_PARAMETRIZED = ("constant", "step")
 
 
 def get_trace(name: str, seed: int = 0, **kwargs) -> NetworkTrace:
@@ -272,12 +299,16 @@ def get_trace(name: str, seed: int = 0, **kwargs) -> NetworkTrace:
     if key == "step":
         return step_trace(**kwargs)
     try:
-        return _GENERATORS[key](seed=seed, **kwargs)
+        generator = TRACES.get(key)
     except KeyError:
         raise KeyError(
             f"unknown trace {name!r}; known: "
-            f"{', '.join(sorted(_GENERATORS))}, constant:<mbps>, step"
+            f"{', '.join(sorted(set(TRACES.names()) - set(_PARAMETRIZED)))}"
+            f", constant:<mbps>, step"
         ) from None
+    return generator(seed=seed, **kwargs)
 
 
-TRACE_NAMES = sorted(set(_GENERATORS) - {"threeg"}) + ["constant:10.5", "step"]
+TRACE_NAMES = (
+    sorted(set(TRACES.names()) - set(_PARAMETRIZED)) + ["constant:10.5", "step"]
+)

@@ -17,6 +17,7 @@ tracking across hardware.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from typing import Dict, List, Optional
@@ -48,6 +49,27 @@ _TINY_PROFILE_KWARGS = dict(
 
 def default_output_path(label: str) -> str:
     return f"BENCH_{label}.json"
+
+
+def _git_sha() -> Optional[str]:
+    """The repo's HEAD commit, or None outside a git checkout.
+
+    Stamped into the payload's ``meta`` so archived bench results are
+    traceable to the exact code that produced them.  Resolved against
+    the source tree containing this module, not the caller's cwd.
+    """
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def _tiny_prepared():
@@ -123,11 +145,22 @@ def _bench_abr_choose(prepared, repeats: int) -> Dict[str, float]:
 
 
 def _bench_transport_round(repeats: int) -> Dict[str, float]:
-    from repro.network.link import BottleneckLink
-    from repro.network.traces import constant_trace
-    from repro.transport.connection import QuicConnection
+    # The bare transport stack comes from the backend registry (the same
+    # assembly path sessions use), described by a spec — no hardcoded
+    # link/connection wiring that could drift from production.
+    from repro.core.build import StackBuilder
+    from repro.core.spec import ScenarioSpec
+    from repro.network.clock import Clock
+    from repro.transport.backends import make_backend
 
-    connection = QuicConnection(BottleneckLink(constant_trace(10.0)))
+    builder = StackBuilder(ScenarioSpec(trace="constant:10"))
+    stack = make_backend(
+        builder.spec.backend,
+        config=builder.session_config(),
+        clock=Clock(),
+        trace=builder.resolve_trace(),
+    )
+    connection = stack.connection
     rounds = [0]
 
     def call():
@@ -306,6 +339,7 @@ def run_suite(
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "git_sha": _git_sha(),
         },
         "benchmarks": benchmarks,
     }

@@ -76,7 +76,9 @@ EVENT_FIELDS: Dict[str, tuple] = {
 #: bump): old parsers never see it as required, new parsers still reject
 #: genuinely unknown fields.
 OPTIONAL_FIELDS: Dict[str, tuple] = {
-    SESSION_START: ("num_levels",),
+    # spec_hash: content hash of the ScenarioSpec a builder-assembled
+    # session realizes — keys recorded artifacts to their configuration.
+    SESSION_START: ("num_levels", "spec_hash"),
     TRUNCATE: ("reliable_bytes",),
     TRANSPORT_ROUND: ("inflight",),
 }

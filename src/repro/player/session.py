@@ -41,7 +41,7 @@ from repro.player.metrics import SegmentRecord, SessionMetrics
 from repro.prep.prepare import PreparedVideo
 from repro.qoe.metrics import SSIM, QoEMetric
 from repro.qoe.model import decode_segment
-from repro.transport.connection import QuicConnection
+from repro.transport.backends import make_backend
 from repro.transport.http import SegmentDelivery, VoxelHttp
 
 
@@ -100,6 +100,7 @@ class StreamingSession:
         session_id: Optional[str] = None,
         scheduler=None,
         router=None,
+        spec_hash: Optional[str] = None,
     ):
         self.prepared = prepared
         self.abr = abr
@@ -108,37 +109,32 @@ class StreamingSession:
         # single clock-advancing authority); solo runs own a private one.
         self.clock = clock if clock is not None else Clock()
         self.session_id = session_id
+        # Content hash of the ScenarioSpec this session realizes (set by
+        # the StackBuilder); stamped into the trace header so recorded
+        # artifacts are traceable to their exact configuration.
+        self.spec_hash = spec_hash
         tracer = tracer if tracer is not None else NULL_TRACER
         if session_id is not None and tracer.enabled:
             tracer = SessionTracer(tracer, session_id)
         self.tracer = tracer
         self.tracer.bind_clock(self.clock)
-        # Event scheduler backing the connection (packet backend only;
-        # drive()/SimKernel need it to service Waiter yields).
-        self.scheduler = None
-        if self.config.transport_backend == "packet":
-            self.link = None
-            self.connection = self._build_packet_connection(
-                trace, cross_demand, scheduler=scheduler, router=router
-            )
-        elif self.config.transport_backend == "round":
-            self.link = link if link is not None else BottleneckLink(
-                trace,
-                cross_demand=cross_demand,
-                queue_packets=self.config.queue_packets,
-                base_rtt=self.config.base_rtt,
-            )
-            self.connection = QuicConnection(
-                self.link,
-                self.clock,
-                partially_reliable=self.config.partially_reliable,
-                tracer=self.tracer,
-            )
-        else:
-            raise ValueError(
-                f"unknown transport backend "
-                f"{self.config.transport_backend!r}"
-            )
+        # The transport substrate comes from the backend registry; the
+        # link/scheduler/router pass-throughs let multi-client runs share
+        # one bottleneck (and one event loop) across sessions.
+        stack = make_backend(
+            self.config.transport_backend,
+            config=self.config,
+            clock=self.clock,
+            trace=trace,
+            cross_demand=cross_demand,
+            tracer=self.tracer,
+            link=link,
+            scheduler=scheduler,
+            router=router,
+        )
+        self.link = stack.link
+        self.connection = stack.connection
+        self.scheduler = stack.scheduler
         self.http = VoxelHttp(
             self.connection,
             server_voxel_aware=self.config.server_voxel_aware,
@@ -226,6 +222,9 @@ class StreamingSession:
         start_clock = self.clock.now
 
         if self.tracer.enabled:
+            extra = {}
+            if self.spec_hash is not None:
+                extra["spec_hash"] = self.spec_hash
             self.tracer.emit(
                 ev.SESSION_START,
                 video=video.name,
@@ -236,6 +235,7 @@ class StreamingSession:
                 backend=self.config.transport_backend,
                 partially_reliable=self.config.partially_reliable,
                 num_levels=self.manifest.num_levels,
+                **extra,
             )
         yield from self._before_session()
         for index in range(video.num_segments):
@@ -275,43 +275,6 @@ class StreamingSession:
                 segments=len(self._records),
             )
         return metrics
-
-    # ------------------------------------------------------------------
-    def _build_packet_connection(self, trace, cross_demand,
-                                 scheduler=None, router=None):
-        """Construct the event-driven per-packet transport backend.
-
-        Pass an existing ``scheduler``/``router`` pair to share one
-        bottleneck (and one event loop) across several sessions.
-        """
-        from repro.network.crosstraffic import cross_traffic_available
-        from repro.network.events import EventScheduler
-        from repro.network.packetlink import PacketRouter
-        from repro.transport.packet_connection import PacketLevelConnection
-
-        effective = trace
-        if cross_demand is not None:
-            effective = cross_traffic_available(
-                trace.mean_mbps(), cross_demand
-            )
-        if scheduler is None:
-            scheduler = EventScheduler(self.clock.now)
-        if router is None:
-            queue = self.config.queue_packets
-            router = PacketRouter(
-                scheduler,
-                effective,
-                queue_packets=queue if queue is not None else 32,
-                propagation_s=self.config.base_rtt / 2.0,
-            )
-        self.scheduler = scheduler
-        return PacketLevelConnection(
-            router,
-            scheduler,
-            clock=self.clock,
-            partially_reliable=self.config.partially_reliable,
-            tracer=self.tracer,
-        )
 
     # ------------------------------------------------------------------
     def _before_session(self) -> None:

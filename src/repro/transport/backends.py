@@ -1,0 +1,144 @@
+"""Transport-backend registry: a spec string becomes a ready stack.
+
+A *backend* is the whole transport substrate of a session — the link
+model plus the QUIC(*) connection riding it.  Two ship with the repo:
+
+* ``"round"`` — the fast per-RTT fluid model
+  (:class:`~repro.network.link.BottleneckLink` +
+  :class:`~repro.transport.connection.QuicConnection`), used for all
+  sweeps;
+* ``"packet"`` — the event-driven per-packet backend
+  (:class:`~repro.network.packetlink.PacketRouter` +
+  :class:`~repro.transport.packet_connection.PacketLevelConnection`),
+  orders of magnitude slower, used to validate the round model.
+
+:class:`~repro.player.session.StreamingSession` resolves its backend
+here, so a custom transport plugs in with one decorator and is
+immediately usable from ``ScenarioSpec(backend=...)``, ``stream()``,
+and ``repro sweep`` grids.
+
+Factory contract::
+
+    factory(config, clock, trace, cross_demand=None, tracer=None,
+            link=None, scheduler=None, router=None) -> TransportStack
+
+``link``/``scheduler``/``router`` allow several sessions to share one
+bottleneck (multi-client runs hand every session the kernel and the
+shared link or router).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.registry import Registry
+from repro.network.linkmodels import LINK_MODELS
+
+#: The transport-backend registry (``ScenarioSpec.backend`` keys).
+BACKENDS = Registry("transport backend")
+
+
+@dataclass
+class TransportStack:
+    """What a backend factory returns: connection plus its substrate."""
+
+    connection: object
+    #: The round backend's :class:`BottleneckLink` (None for packet).
+    link: object = None
+    #: The packet backend's event scheduler — drive()/SimKernel need it
+    #: to service Waiter yields (None for round).
+    scheduler: object = None
+
+
+@BACKENDS.register(
+    "round",
+    "fast per-RTT fluid model (BottleneckLink + QuicConnection); "
+    "default for all sweeps",
+)
+def _build_round(
+    config,
+    clock,
+    trace,
+    cross_demand=None,
+    tracer=None,
+    link=None,
+    scheduler=None,
+    router=None,
+) -> TransportStack:
+    from repro.obs.tracer import NULL_TRACER
+    from repro.transport.connection import QuicConnection
+
+    if link is None:
+        link = LINK_MODELS.get("droptail")(
+            trace,
+            cross_demand=cross_demand,
+            queue_packets=config.queue_packets,
+            base_rtt=config.base_rtt,
+        )
+    connection = QuicConnection(
+        link,
+        clock,
+        partially_reliable=config.partially_reliable,
+        tracer=tracer if tracer is not None else NULL_TRACER,
+    )
+    return TransportStack(connection=connection, link=link)
+
+
+@BACKENDS.register(
+    "packet",
+    "event-driven per-packet backend (PacketRouter + "
+    "PacketLevelConnection); slow, validates the round model",
+)
+def _build_packet(
+    config,
+    clock,
+    trace,
+    cross_demand=None,
+    tracer=None,
+    link=None,
+    scheduler=None,
+    router=None,
+) -> TransportStack:
+    from repro.network.crosstraffic import cross_traffic_available
+    from repro.network.events import EventScheduler
+    from repro.obs.tracer import NULL_TRACER
+    from repro.transport.packet_connection import PacketLevelConnection
+
+    effective = trace
+    if cross_demand is not None:
+        effective = cross_traffic_available(trace.mean_mbps(), cross_demand)
+    if scheduler is None:
+        scheduler = EventScheduler(clock.now)
+    if router is None:
+        queue = config.queue_packets
+        router = LINK_MODELS.get("packet-router")(
+            scheduler,
+            effective,
+            queue_packets=queue if queue is not None else 32,
+            propagation_s=config.base_rtt / 2.0,
+        )
+    connection = PacketLevelConnection(
+        router,
+        scheduler,
+        clock=clock,
+        partially_reliable=config.partially_reliable,
+        tracer=tracer if tracer is not None else NULL_TRACER,
+    )
+    return TransportStack(connection=connection, scheduler=scheduler)
+
+
+def make_backend(name: str, **kwargs) -> TransportStack:
+    """Build the named transport stack.
+
+    Raises ``ValueError`` for unknown names (the session constructor's
+    historical contract), with the registry catalog in the message.
+    """
+    try:
+        factory = BACKENDS.get(name)
+    except KeyError as exc:
+        raise ValueError(exc.args[0]) from None
+    return factory(**kwargs)
+
+
+__all__ = ["BACKENDS", "TransportStack", "make_backend"]

@@ -1,0 +1,221 @@
+"""Sweep engine: grid expansion, worker parity, JSONL schema, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.spec import ScenarioSpec
+from repro.experiments.sweep import (
+    SweepSpec,
+    dry_run_rows,
+    parse_rows_jsonl,
+    rows_to_jsonl,
+    run_sweep,
+    validate_rows,
+)
+
+
+GRID_24 = {
+    "name": "grid24",
+    "base": {"repetitions": 1, "video": "bbb"},
+    "grid": {
+        "abr": ["bola", "abr_star", "mpc"],
+        "trace": ["verizon", "att"],
+        "buffer_segments": [1, 3],
+        "reliability": ["quic", "quic*"],
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# Expansion
+# ---------------------------------------------------------------------------
+class TestExpand:
+    def test_cartesian_grid(self):
+        sweep = SweepSpec.from_dict(GRID_24)
+        specs = sweep.expand()
+        assert len(specs) == 24
+        # First axis outermost, deterministic order.
+        assert specs[0].abr == "bola" and specs[-1].abr == "mpc"
+        assert all(s.repetitions == 1 for s in specs)
+        assert len({s.spec_hash() for s in specs}) == 24
+
+    def test_base_only_is_single_cell(self):
+        specs = SweepSpec(base={"abr": "bola"}).expand()
+        assert len(specs) == 1 and specs[0].abr == "bola"
+
+    def test_explicit_scenarios_layer_over_base(self):
+        sweep = SweepSpec(
+            base={"video": "ed", "seed": 5},
+            scenarios=[{"abr": "bola"}, {"abr": "mpc", "seed": 9}],
+        )
+        specs = sweep.expand()
+        assert [s.abr for s in specs] == ["bola", "mpc"]
+        assert [s.seed for s in specs] == [5, 9]
+        assert all(s.video == "ed" for s in specs)
+
+    def test_duplicate_cells_deduplicated(self):
+        sweep = SweepSpec(
+            grid={"abr": ["bola"]},
+            scenarios=[{"abr": "bola"}, {"abr": "mpc"}],
+        )
+        specs = sweep.expand()
+        assert [s.abr for s in specs] == ["bola", "mpc"]
+
+    def test_unknown_sweep_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown SweepSpec field"):
+            SweepSpec.from_dict({"cells": []})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty list"):
+            SweepSpec.from_dict({"grid": {"abr": []}})
+
+    def test_unknown_scenario_field_fails_at_expand(self):
+        sweep = SweepSpec(grid={"abr_name": ["bola"]})
+        with pytest.raises(ValueError, match="unknown ScenarioSpec field"):
+            sweep.expand()
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+def _tiny_specs(tiny_prepared):
+    return (
+        [
+            ScenarioSpec(video="tinytest", abr=abr, trace="verizon",
+                         buffer_segments=buf, repetitions=1)
+            for abr in ("bola", "abr_star")
+            for buf in (1, 3)
+        ],
+        {"tinytest": tiny_prepared},
+    )
+
+
+class TestRunSweep:
+    def test_rows_keyed_by_hash(self, tiny_prepared):
+        specs, prepared_map = _tiny_specs(tiny_prepared)
+        rows = run_sweep(specs, prepared_map=prepared_map)
+        assert [r["spec_hash"] for r in rows] == \
+            [s.spec_hash() for s in specs]
+        assert validate_rows(rows) == 4
+        for row in rows:
+            assert row["summary"]["repetitions"] == 1
+
+    def test_worker_count_does_not_change_rows(self, tiny_prepared):
+        specs, prepared_map = _tiny_specs(tiny_prepared)
+        serial = run_sweep(specs, workers=1, prepared_map=prepared_map)
+        forked = run_sweep(specs, workers=2, prepared_map=prepared_map)
+        assert rows_to_jsonl(serial) == rows_to_jsonl(forked)
+
+    def test_dry_run_validates_without_running(self):
+        rows = dry_run_rows(SweepSpec.from_dict(GRID_24))
+        assert len(rows) == 24
+        assert all("summary" not in r for r in rows)
+        validate_rows(rows, require_summary=False)
+
+    def test_dry_run_catches_typos(self):
+        sweep = SweepSpec(grid={"abr": ["bola", "no_such_abr"]})
+        with pytest.raises(KeyError, match="unknown ABR"):
+            dry_run_rows(sweep)
+
+
+# ---------------------------------------------------------------------------
+# JSONL schema
+# ---------------------------------------------------------------------------
+class TestRowSchema:
+    def _rows(self, tiny_prepared):
+        specs, prepared_map = _tiny_specs(tiny_prepared)
+        return run_sweep(specs[:2], prepared_map=prepared_map)
+
+    def test_jsonl_round_trip(self, tiny_prepared):
+        rows = self._rows(tiny_prepared)
+        text = rows_to_jsonl(rows)
+        assert text.endswith("\n")
+        parsed = parse_rows_jsonl(text.splitlines())
+        assert validate_rows(parsed) == 2
+        assert rows_to_jsonl(parsed) == text
+
+    def test_validate_rejects_tampered_hash(self, tiny_prepared):
+        rows = self._rows(tiny_prepared)
+        rows[0]["spec_hash"] = "0" * 12
+        with pytest.raises(ValueError, match="does not match"):
+            validate_rows(rows)
+
+    def test_validate_rejects_duplicates(self, tiny_prepared):
+        rows = self._rows(tiny_prepared)
+        with pytest.raises(ValueError, match="duplicate spec_hash"):
+            validate_rows(rows + [rows[0]])
+
+    def test_validate_rejects_missing_summary_key(self, tiny_prepared):
+        rows = self._rows(tiny_prepared)
+        del rows[0]["summary"]["ssim"]
+        with pytest.raises(ValueError, match="summary missing 'ssim'"):
+            validate_rows(rows)
+
+    def test_validate_rejects_extra_key(self, tiny_prepared):
+        rows = self._rows(tiny_prepared)
+        rows[0]["extra"] = 1
+        with pytest.raises(ValueError, match="unknown key"):
+            validate_rows(rows)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestSweepCli:
+    def test_dry_run_from_spec_file(self, tmp_path, capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(json.dumps(GRID_24))
+        assert main(["sweep", "--spec", str(grid_file), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "24 scenarios:" in out
+        assert "bbb/bola/Q/verizon/buf1/round" in out
+
+    def test_dry_run_json_rows(self, tmp_path, capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(json.dumps(GRID_24))
+        assert main([
+            "--json", "sweep", "--spec", str(grid_file), "--dry-run",
+        ]) == 0
+        rows = parse_rows_jsonl(capsys.readouterr().out.splitlines())
+        assert validate_rows(rows, require_summary=False) == 24
+
+    def test_dry_run_from_grid_flags(self, capsys):
+        assert main([
+            "sweep", "--abrs", "bola,abr_star", "--buffers", "1,3",
+            "--dry-run",
+        ]) == 0
+        assert "4 scenarios:" in capsys.readouterr().out
+
+    def test_unknown_component_exits_2(self, capsys):
+        assert main(["sweep", "--abrs", "nope", "--dry-run"]) == 2
+        assert "unknown ABR" in capsys.readouterr().err
+
+    def test_bad_spec_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"cells": []}')
+        assert main(["sweep", "--spec", str(bad), "--dry-run"]) == 2
+        assert "unknown SweepSpec field" in capsys.readouterr().err
+
+    def test_run_and_validate(self, tmp_path, capsys):
+        out_file = tmp_path / "rows.jsonl"
+        code = main([
+            "sweep", "--videos", "bbb", "--abrs", "bola",
+            "--traces", "constant:10.5", "--buffers", "1",
+            "--reps", "1", "--out", str(out_file),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["sweep", "--validate", str(out_file)]) == 0
+        assert "1 rows ok" in capsys.readouterr().out
+
+    def test_validate_flags_corruption(self, tmp_path, capsys):
+        out_file = tmp_path / "rows.jsonl"
+        row = {"spec_hash": "0" * 12, "label": "x",
+               "spec": ScenarioSpec().to_dict(), "summary": {}}
+        out_file.write_text(json.dumps(row) + "\n")
+        assert main(["sweep", "--validate", str(out_file)]) == 1
+        assert "does not match" in capsys.readouterr().err
