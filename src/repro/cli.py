@@ -13,6 +13,8 @@
     python -m repro compare bbb --trace tmobile --buffer 1
     python -m repro sweep --spec grid.json --workers 4 --out results.jsonl
     python -m repro sweep --abrs bola,abr_star --buffers 1,3 --dry-run
+    python -m repro faults --profiles mixed --check-invariants
+    python -m repro stream bbb --faults @faults.json --timeout 3
     python -m repro figure fig6 --light       # regenerate a paper figure
     python -m repro survey                    # the simulated user study
 
@@ -33,6 +35,7 @@ from typing import Dict, List, Optional
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro import available_videos
     from repro.abr import ABRS
+    from repro.faults import FAULTS
     from repro.network.linkmodels import LINK_MODELS
     from repro.network.traces import TRACES
     from repro.transport.backends import BACKENDS
@@ -46,12 +49,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "traces": TRACES.describe(),
         "backends": BACKENDS.describe(),
         "link_models": LINK_MODELS.describe(),
+        "faults": FAULTS.describe(),
     }
     if args.json:
         print(json.dumps(data, indent=2))
         return 0
     print(f"videos: {', '.join(data['videos'])}")
-    for kind in ("abrs", "traces", "backends", "link_models"):
+    for kind in ("abrs", "traces", "backends", "link_models", "faults"):
         print(f"{kind}:")
         for name, description in data[kind].items():
             print(f"  {name:14s} {description}")
@@ -91,6 +95,20 @@ def _cmd_prepare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_faults(raw: Optional[str]) -> Optional[Dict]:
+    """Parse ``--faults``: inline JSON, or ``@path`` to a JSON file."""
+    if not raw:
+        return None
+    text = raw
+    if raw.startswith("@"):
+        with open(raw[1:], encoding="utf-8") as handle:
+            text = handle.read()
+    spec = json.loads(text)
+    if not isinstance(spec, dict):
+        raise ValueError("fault spec must be a JSON object")
+    return spec
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro import prepare_video, stream
 
@@ -122,6 +140,25 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     abr_kwargs: Dict = {}
     if args.bandwidth_safety is not None:
         abr_kwargs["bandwidth_safety"] = args.bandwidth_safety
+    resilience_kwargs: Dict = {}
+    try:
+        faults = _load_faults(args.faults)
+        if faults is not None:
+            from repro.faults import FaultSpec, validate_fault_spec
+
+            validate_fault_spec(FaultSpec.from_dict(faults))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read fault spec {args.faults!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if faults is not None:
+        resilience_kwargs["faults"] = faults
+    if args.timeout is not None:
+        resilience_kwargs["request_timeout_s"] = args.timeout
+    if args.retry_budget is not None:
+        resilience_kwargs["retry_budget"] = args.retry_budget
+    if args.retry_backoff is not None:
+        resilience_kwargs["retry_backoff_s"] = args.retry_backoff
     result = stream(
         prepared,
         abr=args.abr,
@@ -132,6 +169,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         trace_shift_s=args.shift,
         abr_kwargs=abr_kwargs or None,
         tracer=tracer,
+        **resilience_kwargs,
     )
     if trace_sink is not None:
         written = tracer.write_jsonl(trace_sink)
@@ -164,6 +202,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     print(f"  data skipped   {metrics.data_skipped_fraction * 100:7.2f} %")
     print(f"  residual loss  {metrics.residual_loss_fraction * 100:7.2f} %")
     print(f"  switches       {metrics.quality_switches:7d}")
+    if "retries" in summary:
+        # Resilience block: present only when the run had a fault plan
+        # or a request deadline (keeps fault-free output unchanged).
+        print(f"  faults         {int(summary['faults_injected']):7d}")
+        print(f"  timeouts       {int(summary['request_timeouts']):7d}")
+        print(f"  conn resets    {int(summary['connection_resets']):7d}")
+        print(f"  retries        {int(summary['retries']):7d}")
+        print(f"  degraded segs  {int(summary['degraded_segments']):7d}")
+        print(f"  backoff        {summary['backoff_s']:7.2f} s")
     _maybe_print_metrics(args)
     return 1 if audit_failed else 0
 
@@ -570,6 +617,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import (
+        CHAOS_PROFILES,
+        chaos_rows_to_jsonl,
+        format_chaos_report,
+        run_chaos,
+    )
+
+    if args.list_profiles:
+        if args.json:
+            print(json.dumps(CHAOS_PROFILES, indent=2, sort_keys=True))
+            return 0
+        for name in sorted(CHAOS_PROFILES):
+            kinds = ", ".join(
+                e["kind"] for e in CHAOS_PROFILES[name]["events"]
+            )
+            print(f"  {name:12s} {kinds}")
+        return 0
+
+    profiles = None
+    if args.profiles:
+        profiles = [p for p in args.profiles.split(",") if p]
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+    base: Dict = {}
+    if args.video:
+        base["video"] = args.video
+    if args.trace:
+        base["trace"] = args.trace
+    if args.backend:
+        base["backend"] = args.backend
+    if args.timeout is not None:
+        base["request_timeout_s"] = args.timeout
+    if args.retry_budget is not None:
+        base["retry_budget"] = args.retry_budget
+    try:
+        rows = run_chaos(
+            profiles=profiles, seeds=seeds, base=base,
+            workers=args.workers,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    jsonl = chaos_rows_to_jsonl(rows)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(jsonl)
+        except OSError as exc:
+            print(f"error: cannot write {args.out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {len(rows)} rows to {args.out}", file=sys.stderr)
+    if args.json:
+        print(jsonl, end="")
+    else:
+        print(format_chaos_report(rows))
+    _maybe_print_metrics(args)
+    if args.check_invariants and any(
+        not row["audit"]["ok"] for row in rows
+    ):
+        return 1
+    return 0
+
+
 def _cmd_survey(args: argparse.Namespace) -> int:
     from repro.experiments.survey import DIMENSIONS, fig14_survey
 
@@ -637,6 +749,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-invariants", action="store_true",
         help="audit trace invariants inline during the session; "
         "exit 1 on any violation",
+    )
+    p_stream.add_argument(
+        "--faults", default=None, metavar="JSON|@FILE",
+        help="fault spec: inline JSON or @path to a JSON file "
+        '(e.g. \'{"events": [{"kind": "blackout", "at": 5, '
+        '"duration": 3}]}\')',
+    )
+    p_stream.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-request deadline in seconds (enables the "
+        "retry/degradation path)",
+    )
+    p_stream.add_argument(
+        "--retry-budget", type=int, default=None,
+        help="retries per segment before degrading (default 3)",
+    )
+    p_stream.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="S",
+        help="exponential backoff base in seconds (default 0.5)",
     )
 
     p_trace = sub.add_parser(
@@ -781,6 +912,48 @@ def build_parser() -> argparse.ArgumentParser:
         "(spec hash round-trip included); exit 1 on violation",
     )
 
+    p_faults = sub.add_parser(
+        "faults",
+        help="chaos sweep: named fault profiles x seeds, every cell "
+        "audited against the invariant catalog",
+    )
+    p_faults.add_argument(
+        "--profiles", default=None,
+        help="comma-separated chaos profiles (default: all); "
+        "see --list-profiles",
+    )
+    p_faults.add_argument("--seeds", default="0,1,2",
+                          help="comma-separated scenario seeds")
+    p_faults.add_argument("--video", default=None,
+                          help="video for every cell (default bbb)")
+    p_faults.add_argument("--trace", default=None,
+                          help="capacity trace (default verizon)")
+    p_faults.add_argument("--backend", default=None,
+                          choices=("round", "packet"),
+                          help="transport backend (default round)")
+    p_faults.add_argument("--timeout", type=float, default=None,
+                          metavar="S",
+                          help="per-request deadline (default 3.0)")
+    p_faults.add_argument("--retry-budget", type=int, default=None,
+                          help="retries per segment (default 3)")
+    p_faults.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes across cells (results are "
+        "byte-identical to --workers 1)",
+    )
+    p_faults.add_argument("--out", default=None, metavar="PATH",
+                          help="write JSONL rows to this file")
+    p_faults.add_argument(
+        "--check-invariants", action="store_true",
+        help="exit 1 if any cell's inline invariant audit fails",
+    )
+    p_faults.add_argument(
+        "--list-profiles", action="store_true",
+        help="list the named chaos profiles and exit",
+    )
+    p_faults.add_argument("--metrics", action="store_true",
+                          help="print the metrics registry after the run")
+
     p_survey = sub.add_parser("survey", help="run the simulated user study")
     p_survey.add_argument("--clips", type=int, default=8)
     p_survey.add_argument("--participants", type=int, default=54)
@@ -802,6 +975,7 @@ _HANDLERS = {
     "survey": _cmd_survey,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
+    "faults": _cmd_faults,
 }
 
 

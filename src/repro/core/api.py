@@ -108,6 +108,11 @@ _PASSTHROUGH_SESSION_KWARGS = (
     "base_rtt",
     "manifest_fetch",
     "manifest_window_segments",
+    "trace_kwargs",
+    "faults",
+    "request_timeout_s",
+    "retry_budget",
+    "retry_backoff_s",
 )
 
 
@@ -186,7 +191,10 @@ def stream(
         tracer: an :class:`~repro.obs.Tracer` collecting structured
             session events (``None`` = tracing off, zero overhead).
         **session_kwargs: forwarded to :class:`SessionConfig` (e.g.
-            ``queue_packets=750``, ``selective_retransmission=False``).
+            ``queue_packets=750``, ``selective_retransmission=False``)
+            or the spec's resilience knobs (``faults={"events": [...]}``,
+            ``request_timeout_s``, ``retry_budget``, ``retry_backoff_s``,
+            ``trace_kwargs={"outage_prob": 0.1}``).
     """
     if network_trace is not None and seed != 0:
         raise ValueError(

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 
 from repro.abr import ABRS, make_abr
 from repro.core.spec import ScenarioSpec
+from repro.faults.plan import FaultPlan, build_plan, validate_fault_spec
 from repro.network.crosstraffic import (
     CrossTrafficConfig,
     generate_cross_demand,
@@ -77,6 +78,7 @@ class StackBuilder:
                 f"unknown transport backend {self.spec.backend!r}; "
                 f"known: {', '.join(BACKENDS.names())}"
             )
+        validate_fault_spec(self.spec.fault_spec())
 
     # ------------------------------------------------------------------
     def prepared_video(self) -> PreparedVideo:
@@ -101,7 +103,9 @@ class StackBuilder:
         if spec.cross_traffic_mbps is not None:
             trace = get_trace(f"constant:{spec.link_mbps_under_cross}")
         else:
-            trace = get_trace(spec.trace, seed=spec.seed)
+            trace = get_trace(
+                spec.trace, seed=spec.seed, **spec.trace_kwargs
+            )
         return trace.shifted(spec.trace_shift_s)
 
     def cross_demand(
@@ -134,7 +138,35 @@ class StackBuilder:
             **self.spec.abr_kwargs,
         )
 
-    def session_config(self) -> SessionConfig:
+    def fault_plan(
+        self, trace: Optional[NetworkTrace] = None
+    ) -> Optional[FaultPlan]:
+        """Realize the spec's FaultSpec against the trace horizon.
+
+        Deterministic: the windows are a pure function of the fault spec
+        and the scenario seed, so every repetition (and every worker of a
+        parallel sweep) places identical faults.  None when the spec
+        declares no faults.
+        """
+        spec = self.spec.fault_spec()
+        if spec is None:
+            return None
+        if trace is None:
+            trace = self.resolve_trace()
+        # Seeded placements spread across the window the session will
+        # actually play — the media duration, not the (usually much
+        # longer) trace horizon — so every declared fault can hit the
+        # session.  Explicit ``at`` placements are unaffected.
+        horizon = min(
+            trace.duration, self.prepared_video().video.duration
+        )
+        return build_plan(
+            spec, horizon=horizon, scenario_seed=self.spec.seed
+        )
+
+    def session_config(
+        self, fault_plan: Optional[FaultPlan] = None
+    ) -> SessionConfig:
         """Map the spec onto the session's knob set."""
         spec = self.spec
         return SessionConfig(
@@ -151,6 +183,10 @@ class StackBuilder:
             transport_backend=spec.backend,
             manifest_fetch=spec.manifest_fetch,
             manifest_window_segments=spec.manifest_window_segments,
+            request_timeout_s=spec.request_timeout_s,
+            retry_budget=spec.retry_budget,
+            retry_backoff_s=spec.retry_backoff_s,
+            fault_plan=fault_plan,
         )
 
     # ------------------------------------------------------------------
@@ -184,7 +220,7 @@ class StackBuilder:
             self.prepared_video(),
             self.make_abr(),
             trace,
-            self.session_config(),
+            self.session_config(fault_plan=self.fault_plan(trace)),
             cross_demand=self.cross_demand(trace),
             link=link,
             tracer=tracer,

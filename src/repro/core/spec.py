@@ -33,6 +33,7 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional
 
+from repro.faults.spec import FaultSpec
 from repro.qoe.metrics import METRICS, QoEMetric
 
 #: Reliability modes: transport flavour x payload-reliability ablation.
@@ -88,6 +89,7 @@ class ScenarioSpec:
     trace: str = "verizon"
     seed: int = 0
     trace_shift_s: float = 0.0
+    trace_kwargs: Dict = field(default_factory=dict)
     cross_traffic_mbps: Optional[float] = None
     link_mbps_under_cross: float = 20.0
     # Transport flavour.
@@ -107,6 +109,13 @@ class ScenarioSpec:
     # Evaluation protocol: repetitions with per-repetition trace shifts
     # (the paper's d/reps linear-shift protocol).
     repetitions: int = 1
+    # Fault injection + client resilience.  All of these (and
+    # ``trace_kwargs`` above) are omitted from the canonical JSON at
+    # their defaults so pre-existing spec hashes stay unchanged.
+    faults: Optional[Dict] = None
+    request_timeout_s: Optional[float] = None
+    retry_budget: int = 3
+    retry_backoff_s: float = 0.5
 
     def __post_init__(self):
         if self.reliability not in RELIABILITY_MODES:
@@ -121,6 +130,16 @@ class ScenarioSpec:
             )
         if self.repetitions < 1:
             raise ValueError("repetitions must be >= 1")
+        if self.faults is not None:
+            # Structural validation only; injector kinds are checked
+            # against the FAULTS registry by StackBuilder.validate.
+            FaultSpec.from_dict(self.faults)
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0 when set")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
 
     # ------------------------------------------------------------------
     @property
@@ -131,20 +150,47 @@ class ScenarioSpec:
     def force_reliable_payload(self) -> bool:
         return self.reliability.endswith("-rel")
 
+    def fault_spec(self) -> Optional[FaultSpec]:
+        """The typed fault schedule, or None when faults are absent."""
+        if self.faults is None:
+            return None
+        spec = FaultSpec.from_dict(self.faults)
+        return None if spec.empty else spec
+
     def label(self) -> str:
         pr = "Q*" if self.partially_reliable else "Q"
+        suffix = "+faults" if self.fault_spec() is not None else ""
         return (
             f"{self.video}/{self.abr}/{pr}/{self.trace}"
-            f"/buf{self.buffer_segments}/{self.backend}"
+            f"/buf{self.buffer_segments}/{self.backend}{suffix}"
         )
 
     # ------------------------------------------------------------------
+    #: Fields added after the hash format froze: omitted from the
+    #: canonical JSON (and therefore the spec hash) while at their
+    #: default, so scenarios that don't use them keep their pre-existing
+    #: hashes.  ``faults`` additionally treats an empty event list as
+    #: absent.
+    _HASH_NEUTRAL_DEFAULTS = {
+        "trace_kwargs": {},
+        "faults": None,
+        "request_timeout_s": None,
+        "retry_budget": 3,
+        "retry_backoff_s": 0.5,
+    }
+
     def to_dict(self) -> Dict:
         """Plain JSON-ready dict (QoE metric objects encoded by name)."""
-        return {
-            f.name: _encode_value(getattr(self, f.name))
-            for f in fields(self)
-        }
+        data = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in self._HASH_NEUTRAL_DEFAULTS:
+                if value == self._HASH_NEUTRAL_DEFAULTS[f.name]:
+                    continue
+                if f.name == "faults" and self.fault_spec() is None:
+                    continue
+            data[f.name] = _encode_value(value)
+        return data
 
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, compact separators."""

@@ -1,0 +1,229 @@
+"""Chaos sweep: named fault profiles against the streaming stack.
+
+The resilience counterpart of :mod:`repro.experiments.sweep`: every cell
+is one (fault profile x seed) combination streamed end to end with the
+inline invariant auditor attached, so a chaos run simultaneously
+measures *graceful degradation* (QoE, stalls, retries, degraded
+segments under injected faults) and *correctness* (all trace invariants
+— including retry accounting and shared-link conservation — hold on
+every cell).
+
+Profiles are plain :class:`~repro.faults.spec.FaultSpec` dicts; the
+seeded placement machinery scatters each profile's windows differently
+per scenario seed, so a handful of seeds covers faults hitting startup,
+steady state, and the tail of the session.
+
+CLI: ``repro faults --profiles blackouts,mixed --seeds 0,1,2
+--check-invariants``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.build import StackBuilder
+from repro.core.spec import ScenarioSpec
+from repro.experiments.runner import _fork_map
+from repro.faults import FAULTS
+from repro.obs.invariants import TraceAuditor
+from repro.obs.metrics import scoped_registry
+from repro.obs.tracer import Tracer
+from repro.prep.prepare import PreparedVideo, get_prepared
+
+#: Named fault schedules for chaos runs.  Each value is a FaultSpec
+#: dict; counts/durations are sized for a few-minute session.
+CHAOS_PROFILES: Dict[str, Dict] = {
+    "blackouts": {"events": [
+        {"kind": "blackout", "count": 2, "duration": 3.0},
+    ]},
+    "cliffs": {"events": [
+        {"kind": "bandwidth_cliff", "count": 2, "factor": 0.1,
+         "duration": 8.0},
+    ]},
+    "spikes": {"events": [
+        {"kind": "rtt_spike", "count": 3, "extra": 0.25, "duration": 2.0},
+    ]},
+    "loss": {"events": [
+        {"kind": "loss_burst", "count": 2, "rate": 0.25, "duration": 3.0},
+    ]},
+    "resets": {"events": [
+        {"kind": "reset", "count": 3},
+    ]},
+    "stalls": {"events": [
+        {"kind": "server_stall", "count": 2, "delay": 1.5,
+         "duration": 4.0},
+    ]},
+    "mixed": {"events": [
+        {"kind": "blackout", "count": 1, "duration": 3.0},
+        {"kind": "reset", "count": 2},
+        {"kind": "loss_burst", "count": 1, "rate": 0.2, "duration": 3.0},
+        {"kind": "rtt_spike", "count": 1, "extra": 0.25, "duration": 2.0},
+        {"kind": "server_stall", "count": 1, "delay": 1.5,
+         "duration": 4.0},
+    ]},
+}
+
+#: Spec fields every chaos cell starts from (overridable via ``base``).
+DEFAULT_BASE: Dict = {
+    "video": "bbb",
+    "abr": "abr_star",
+    "trace": "verizon",
+    "request_timeout_s": 3.0,
+    "retry_budget": 3,
+}
+
+
+def chaos_cells(
+    profiles: Sequence[str],
+    seeds: Sequence[int],
+    base: Optional[Dict] = None,
+) -> List[Tuple[str, ScenarioSpec]]:
+    """Expand (profile x seed) into concrete scenario cells.
+
+    Deterministic expansion order: profiles outermost, seeds inner —
+    mirroring the sweep engine, so any worker count folds results
+    identically.
+    """
+    fields = dict(DEFAULT_BASE)
+    fields.update(base or {})
+    cells: List[Tuple[str, ScenarioSpec]] = []
+    for profile in profiles:
+        if profile not in CHAOS_PROFILES:
+            raise KeyError(
+                f"unknown chaos profile {profile!r}; known: "
+                f"{', '.join(sorted(CHAOS_PROFILES))}"
+            )
+        for seed in seeds:
+            cell = dict(fields)
+            cell["faults"] = CHAOS_PROFILES[profile]
+            cell["seed"] = int(seed)
+            cells.append((profile, ScenarioSpec.from_dict(cell)))
+    return cells
+
+
+# ---------------------------------------------------------------------------
+#: Prepared videos for fork()ed chaos workers (same contract as the
+#: sweep engine's module-global: inherited via the fork memory snapshot).
+_CHAOS_PREPARED_MAP: Optional[Dict[str, PreparedVideo]] = None
+
+
+def _chaos_worker(item: Tuple[str, ScenarioSpec]) -> Dict:
+    """Run one chaos cell: stream with the inline auditor attached."""
+    profile, spec = item
+    prepared = None
+    if _CHAOS_PREPARED_MAP is not None:
+        prepared = _CHAOS_PREPARED_MAP.get(spec.video)
+    auditor = TraceAuditor()
+    tracer = Tracer(observers=[auditor.feed])
+    with scoped_registry(merge=False):
+        from repro.core.api import stream_spec
+
+        result = stream_spec(spec, prepared=prepared, tracer=tracer)
+    report = auditor.finalize()
+    summary = result.metrics.summary()
+    return {
+        "spec_hash": spec.spec_hash(),
+        "label": spec.label(),
+        "profile": profile,
+        "seed": spec.seed,
+        "spec": spec.to_dict(),
+        "summary": summary,
+        "audit": {
+            "ok": report.ok,
+            "events": report.events,
+            "violations": [str(v) for v in report.violations],
+        },
+    }
+
+
+def run_chaos(
+    profiles: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    base: Optional[Dict] = None,
+    workers: int = 1,
+    prepared_map: Optional[Dict[str, PreparedVideo]] = None,
+) -> List[Dict]:
+    """Execute a chaos sweep; one audited result row per cell.
+
+    Args:
+        profiles: names from :data:`CHAOS_PROFILES` (default: all, in
+            sorted order).
+        seeds: scenario seeds — each scatters the profile's windows
+            differently across the session.
+        base: :class:`ScenarioSpec` field overrides layered over
+            :data:`DEFAULT_BASE` (e.g. a different video or backend).
+        workers: worker processes across cells; results fold in
+            expansion order, so any worker count is byte-identical.
+        prepared_map: ``video name -> PreparedVideo`` overriding the
+            catalog (fixtures, benchmarks).
+
+    Returns:
+        One row per cell with the spec, its summary (including the
+        resilience counters), and the invariant audit verdict.
+    """
+    if profiles is None:
+        profiles = sorted(CHAOS_PROFILES)
+    cells = chaos_cells(profiles, seeds, base)
+    for _, spec in cells:
+        StackBuilder(spec, prepared_map=prepared_map).validate()
+    for video in dict.fromkeys(spec.video for _, spec in cells):
+        if prepared_map is None or video not in prepared_map:
+            get_prepared(video)
+    global _CHAOS_PREPARED_MAP
+    _CHAOS_PREPARED_MAP = prepared_map
+    try:
+        if workers <= 1 or len(cells) <= 1:
+            rows = [_chaos_worker(cell) for cell in cells]
+        else:
+            rows = _fork_map(_chaos_worker, cells, workers)
+    finally:
+        _CHAOS_PREPARED_MAP = None
+    return rows
+
+
+def chaos_rows_to_jsonl(rows: Sequence[Dict]) -> str:
+    """Serialize chaos rows as canonical JSONL."""
+    return "\n".join(
+        json.dumps(row, sort_keys=True, separators=(",", ":"))
+        for row in rows
+    ) + ("\n" if rows else "")
+
+
+def format_chaos_report(rows: Sequence[Dict]) -> str:
+    """Human-readable chaos outcome: one line per cell plus a verdict."""
+    lines = []
+    bad = 0
+    for row in rows:
+        s = row["summary"]
+        audit = row["audit"]
+        status = "ok" if audit["ok"] else "AUDIT-FAIL"
+        if not audit["ok"]:
+            bad += 1
+        lines.append(
+            f"{row['profile']:<10} seed {row['seed']:<3} "
+            f"ssim {s['mean_ssim']:.3f}  bufRatio {s['buf_ratio']:.3f}  "
+            f"timeouts {int(s.get('request_timeouts', 0))}  "
+            f"resets {int(s.get('connection_resets', 0))}  "
+            f"retries {int(s.get('retries', 0))}  "
+            f"degraded {int(s.get('degraded_segments', 0))}  [{status}]"
+        )
+        for violation in audit["violations"]:
+            lines.append(f"    {violation}")
+    verdict = (
+        f"{len(rows)} cells, {len(rows) - bad} audits clean"
+        + (f", {bad} FAILED" if bad else "")
+    )
+    lines.append(verdict)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CHAOS_PROFILES",
+    "DEFAULT_BASE",
+    "chaos_cells",
+    "chaos_rows_to_jsonl",
+    "format_chaos_report",
+    "run_chaos",
+    "FAULTS",
+]

@@ -124,6 +124,10 @@ def run_multiclient(
     backend: str = "round",
     tracer=None,
     prepared_map: Optional[Dict[str, PreparedVideo]] = None,
+    faults: Optional[Dict] = None,
+    request_timeout_s: Optional[float] = None,
+    retry_budget: int = 3,
+    retry_backoff_s: float = 0.5,
 ) -> MulticlientResult:
     """Run N concurrent streaming sessions on one shared bottleneck.
 
@@ -140,6 +144,13 @@ def run_multiclient(
         tracer: optional shared tracer; events are tagged per session.
         prepared_map: video name -> PreparedVideo, for videos outside
             the catalog (fixtures, benchmarks).
+        faults: run-level :class:`~repro.faults.spec.FaultSpec` dict;
+            substrate faults (blackouts, loss, latency) hit the shared
+            bottleneck once — every client feels the same weather —
+            while resets/deadlines act per connection.
+        request_timeout_s / retry_budget / retry_backoff_s: every
+            client's resilience policy (see
+            :class:`~repro.player.session.SessionConfig`).
 
     Returns:
         Per-client metrics plus Jain's fairness index.
@@ -151,6 +162,30 @@ def run_multiclient(
         trace = get_trace(trace, seed=seed)
     else:
         trace_name = getattr(trace, "name", "custom")
+
+    run_plan = None
+    if faults:
+        from repro.faults import FaultSpec, FaultedTrace, build_plan
+        from repro.prep.prepare import get_prepared
+
+        def _duration(video: str) -> float:
+            if prepared_map is not None and video in prepared_map:
+                return prepared_map[video].video.duration
+            return get_prepared(video).video.duration
+
+        # Place seeded faults across the longest client's playback
+        # window (mirrors StackBuilder.fault_plan); with homogeneous
+        # videos the run-level plan coincides with every session's.
+        horizon = min(
+            trace.duration, max(_duration(s.video) for s in specs)
+        )
+        run_plan = build_plan(
+            FaultSpec.from_dict(faults),
+            horizon=horizon,
+            scenario_seed=seed,
+        )
+    if run_plan is not None:
+        trace = FaultedTrace(trace, run_plan)
 
     kernel = SimKernel()
     shared_link = None
@@ -164,11 +199,15 @@ def run_multiclient(
             queue_packets=queue_packets,
             base_rtt=base_rtt,
         )
+        if run_plan is not None:
+            shared_link.fault_plan = run_plan
     elif backend == "packet":
         shared_router = LINK_MODELS.get("packet-router")(
             kernel, trace, queue_packets=queue_packets,
             propagation_s=base_rtt / 2.0,
         )
+        if run_plan is not None:
+            shared_router.fault_plan = run_plan
     else:
         raise ValueError(f"unknown multiclient backend {backend!r}")
 
@@ -186,6 +225,10 @@ def run_multiclient(
             queue_packets=queue_packets,
             base_rtt=base_rtt,
             backend=backend,
+            faults=faults,
+            request_timeout_s=request_timeout_s,
+            retry_budget=retry_budget,
+            retry_backoff_s=retry_backoff_s,
         )
         session_id = f"c{i}-{spec.abr}-{'Qstar' if spec.partially_reliable else 'Q'}"
         session = StackBuilder(scenario, prepared_map=prepared_map).build(

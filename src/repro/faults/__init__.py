@@ -1,0 +1,30 @@
+"""Deterministic fault injection: declarative specs, realized plans.
+
+``FaultSpec`` (declarative, hash-stable) -> :func:`build_plan` ->
+``FaultPlan`` (clock-anchored windows the network/transport layers
+query).  See ``docs/faults.md`` for the fault-model catalog and the
+determinism guarantees.
+"""
+
+from repro.faults.plan import (
+    CHANNELS,
+    FAULTS,
+    FaultedTrace,
+    FaultPlan,
+    FaultWindow,
+    build_plan,
+    validate_fault_spec,
+)
+from repro.faults.spec import FaultClause, FaultSpec
+
+__all__ = [
+    "CHANNELS",
+    "FAULTS",
+    "FaultClause",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultWindow",
+    "FaultedTrace",
+    "build_plan",
+    "validate_fault_spec",
+]

@@ -1,0 +1,335 @@
+"""Fault injectors and the realized `FaultPlan`.
+
+:func:`build_plan` turns a declarative :class:`~repro.faults.spec.FaultSpec`
+into a :class:`FaultPlan` — concrete, clock-anchored fault windows — at
+stack-build time.  All randomness (window placement for clauses that omit
+``at``) is derived from a sha256 fold of the scenario seed, the fault
+seed, the clause kind and its index, so a plan is a pure function of
+``(spec, horizon, seed)``: multiclient sessions and fork-parallel sweep
+workers realize byte-identical schedules at any worker count.
+
+The plan is *stateless at query time*: every lookup
+(:meth:`FaultPlan.bandwidth_factor`, :meth:`FaultPlan.reset_between`, ...)
+is a pure interval query over the SimKernel clock, never a cursor — a
+retried download that starts after a reset window simply no longer sees
+it, with no mutable position to corrupt across retries or forks.
+
+Injector kinds live in the :data:`FAULTS` registry so ``repro list`` and
+``StackBuilder.validate`` share one catalog:
+
+================  =========  =====================================
+kind              channel    effect while the window is open
+================  =========  =====================================
+blackout          bandwidth  link capacity multiplied by 0
+bandwidth_cliff   bandwidth  capacity multiplied by ``factor``
+rtt_spike         latency    ``extra`` seconds added to base RTT
+loss_burst        loss       packets dropped at rate ``rate``
+reset             reset      point event: in-flight download dies
+server_stall      server     ``delay`` s added to each request
+================  =========  =====================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.registry import Registry
+from repro.faults.spec import FaultClause, FaultSpec
+from repro.network.traces import NetworkTrace
+
+#: The fault-injector registry (``repro list`` shows the descriptions).
+FAULTS = Registry("fault")
+
+#: Channels a window can act on; each maps to exactly one query method.
+CHANNELS = ("bandwidth", "latency", "loss", "reset", "server")
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One realized fault: a half-open time window ``[start, start+duration)``
+    on a single channel.  ``duration == 0`` marks a point event (resets)."""
+
+    kind: str
+    start: float
+    duration: float
+    value: float
+    channel: str
+
+    def __post_init__(self):
+        if self.channel not in CHANNELS:
+            raise ValueError(f"unknown fault channel {self.channel!r}")
+        if self.start < 0 or self.duration < 0:
+            raise ValueError("fault windows cannot start or run negative")
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.start + self.duration
+
+
+@dataclass
+class FaultPlan:
+    """Realized fault schedule: per-channel interval queries off the clock."""
+
+    windows: List[FaultWindow] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.windows = sorted(
+            self.windows, key=lambda w: (w.start, w.kind, w.value)
+        )
+        self._by_channel: Dict[str, List[FaultWindow]] = {
+            ch: [w for w in self.windows if w.channel == ch]
+            for ch in CHANNELS
+        }
+
+    # -- query methods (pure functions of t; hot path, keep them lean) --
+    def bandwidth_factor(self, t: float) -> float:
+        """Capacity multiplier at ``t`` (overlapping windows compound)."""
+        factor = 1.0
+        for w in self._by_channel["bandwidth"]:
+            if w.active(t):
+                factor *= w.value
+        return factor
+
+    def extra_latency(self, t: float) -> float:
+        """Extra one-way/RTT seconds at ``t`` (overlaps sum)."""
+        return sum(
+            w.value for w in self._by_channel["latency"] if w.active(t)
+        )
+
+    def loss_rate(self, t: float) -> float:
+        """Injected packet-loss rate at ``t`` (overlaps take the max)."""
+        rate = 0.0
+        for w in self._by_channel["loss"]:
+            if w.active(t) and w.value > rate:
+                rate = w.value
+        return min(rate, 1.0)
+
+    def server_delay(self, t: float) -> float:
+        """Server-side per-request stall seconds at ``t`` (overlaps sum)."""
+        return sum(
+            w.value for w in self._by_channel["server"] if w.active(t)
+        )
+
+    def reset_between(self, a: float, b: float) -> Optional[float]:
+        """First connection-reset time in ``(a, b]``, else None.
+
+        Stateless by design: callers pass the span their download has
+        covered so far; a resumed download starting after the reset time
+        naturally stops seeing it.
+        """
+        for w in self._by_channel["reset"]:
+            if a < w.start <= b:
+                return w.start
+        return None
+
+    @property
+    def empty(self) -> bool:
+        return not self.windows
+
+
+class FaultedTrace(NetworkTrace):
+    """A trace view with bandwidth-channel faults multiplied in.
+
+    Only :meth:`bandwidth_mbps` (and thus ``bandwidth_bps``) sees the
+    faults; ``mean_mbps``/``std_mbps`` still describe the fault-free
+    series so queue sizing and trace-calibrated defaults stay stable.
+    """
+
+    def __init__(self, base: NetworkTrace, plan: FaultPlan):
+        super().__init__(
+            name=base.name,
+            samples_mbps=base.samples_mbps,
+            shift_s=base.shift_s,
+        )
+        self.plan = plan
+
+    def bandwidth_mbps(self, t: float) -> float:
+        return super().bandwidth_mbps(t) * self.plan.bandwidth_factor(t)
+
+    def shifted(self, shift_s: float) -> "FaultedTrace":
+        return FaultedTrace(super().shifted(shift_s), self.plan)
+
+
+# ---------------------------------------------------------------------------
+# Injectors: ``(clause, horizon, rng) -> [FaultWindow, ...]``
+
+
+def _float(clause: FaultClause, key: str, default: float) -> float:
+    value = clause.params.get(key, default)
+    if value is None:
+        return default
+    return float(value)
+
+
+def _placements(clause: FaultClause, horizon: float, rng: random.Random,
+                duration: float) -> List[float]:
+    """Window start times: explicit ``at``, or ``count`` seeded draws."""
+    if clause.params.get("at") is not None:
+        return [float(clause.params["at"])]
+    count = int(_float(clause, "count", 1))
+    span = max(horizon - duration, 0.0)
+    # Skip the first seconds: a fault before startup completes tests
+    # nothing interesting and can starve the session of its manifest.
+    lead = min(2.0, span)
+    return sorted(lead + rng.random() * max(span - lead, 0.0)
+                  for _ in range(count))
+
+
+def _windowed(clause: FaultClause, horizon: float, rng: random.Random, *,
+              channel: str, default_duration: float, value: float,
+              allowed: tuple) -> List[FaultWindow]:
+    unknown = sorted(set(clause.params) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"fault {clause.kind!r}: unknown parameter(s) {unknown}; "
+            f"accepted: {', '.join(sorted(allowed))}"
+        )
+    duration = _float(clause, "duration", default_duration)
+    return [
+        FaultWindow(kind=clause.kind, start=at, duration=duration,
+                    value=value, channel=channel)
+        for at in _placements(clause, horizon, rng, duration)
+    ]
+
+
+@FAULTS.register(
+    "blackout",
+    "total link blackout for `duration` s (capacity multiplied by 0)",
+)
+def _blackout(clause, horizon, rng):
+    return _windowed(
+        clause, horizon, rng, channel="bandwidth", default_duration=2.0,
+        value=0.0, allowed=("at", "duration", "count"),
+    )
+
+
+@FAULTS.register(
+    "bandwidth_cliff",
+    "capacity collapses to `factor` (default 0.1) for `duration` s",
+    aliases=("cliff",),
+)
+def _bandwidth_cliff(clause, horizon, rng):
+    factor = _float(clause, "factor", 0.1)
+    if not 0.0 <= factor < 1.0:
+        raise ValueError(
+            f"fault 'bandwidth_cliff': factor must be in [0, 1), "
+            f"got {factor}"
+        )
+    return _windowed(
+        clause, horizon, rng, channel="bandwidth", default_duration=10.0,
+        value=factor, allowed=("at", "duration", "count", "factor"),
+    )
+
+
+@FAULTS.register(
+    "rtt_spike",
+    "adds `extra` s (default 0.3) of latency for `duration` s",
+    aliases=("latency_spike",),
+)
+def _rtt_spike(clause, horizon, rng):
+    extra = _float(clause, "extra", 0.3)
+    if extra < 0:
+        raise ValueError(f"fault 'rtt_spike': extra must be >= 0, got {extra}")
+    return _windowed(
+        clause, horizon, rng, channel="latency", default_duration=2.0,
+        value=extra, allowed=("at", "duration", "count", "extra"),
+    )
+
+
+@FAULTS.register(
+    "loss_burst",
+    "drops packets at `rate` (default 0.3) for `duration` s",
+)
+def _loss_burst(clause, horizon, rng):
+    rate = _float(clause, "rate", 0.3)
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(
+            f"fault 'loss_burst': rate must be in (0, 1], got {rate}"
+        )
+    return _windowed(
+        clause, horizon, rng, channel="loss", default_duration=2.0,
+        value=rate, allowed=("at", "duration", "count", "rate"),
+    )
+
+
+@FAULTS.register(
+    "reset",
+    "kills the in-flight download at `at` (point event)",
+    aliases=("connection_reset",),
+)
+def _reset(clause, horizon, rng):
+    unknown = sorted(set(clause.params) - {"at", "count"})
+    if unknown:
+        raise ValueError(
+            f"fault 'reset': unknown parameter(s) {unknown}; "
+            f"accepted: at, count"
+        )
+    return [
+        FaultWindow(kind=clause.kind, start=at, duration=0.0, value=1.0,
+                    channel="reset")
+        for at in _placements(clause, horizon, rng, 0.0)
+    ]
+
+
+@FAULTS.register(
+    "server_stall",
+    "server adds `delay` s (default 1.0) to each request for `duration` s",
+)
+def _server_stall(clause, horizon, rng):
+    delay = _float(clause, "delay", 1.0)
+    if delay <= 0:
+        raise ValueError(
+            f"fault 'server_stall': delay must be > 0, got {delay}"
+        )
+    return _windowed(
+        clause, horizon, rng, channel="server", default_duration=5.0,
+        value=delay, allowed=("at", "duration", "count", "delay"),
+    )
+
+
+# ---------------------------------------------------------------------------
+def _clause_rng(scenario_seed: int, fault_seed: int, kind: str,
+                index: int) -> random.Random:
+    digest = hashlib.sha256(
+        f"{scenario_seed}:{fault_seed}:{kind}:{index}".encode()
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def validate_fault_spec(spec: Optional[FaultSpec]) -> None:
+    """Check every clause kind against the registry (cheap, no RNG)."""
+    if spec is None:
+        return
+    for clause in spec.events:
+        if clause.kind not in FAULTS:
+            raise ValueError(
+                f"unknown fault kind {clause.kind!r}; known: "
+                f"{', '.join(FAULTS.names())}"
+            )
+
+
+def build_plan(spec: Optional[FaultSpec], horizon: float,
+               scenario_seed: int) -> Optional[FaultPlan]:
+    """Realize ``spec`` into a plan over ``[0, horizon)``; None if empty."""
+    if spec is None or spec.empty:
+        return None
+    windows: List[FaultWindow] = []
+    for i, clause in enumerate(spec.events):
+        try:
+            injector = FAULTS.get(clause.kind)
+        except KeyError:
+            raise ValueError(
+                f"unknown fault kind {clause.kind!r}; known: "
+                f"{', '.join(FAULTS.names())}"
+            ) from None
+        rng = _clause_rng(scenario_seed, spec.seed, clause.kind, i)
+        windows.extend(injector(clause, horizon, rng))
+    return FaultPlan(windows=windows)
+
+
+__all__ = [
+    "CHANNELS", "FAULTS", "FaultPlan", "FaultWindow", "FaultedTrace",
+    "build_plan", "validate_fault_spec",
+]

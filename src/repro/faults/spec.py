@@ -1,0 +1,125 @@
+"""`FaultSpec`: the declarative half of the fault-injection subsystem.
+
+A fault spec is a frozen, JSON-round-trippable description of the
+imperfections one scenario should suffer: a list of *fault clauses*,
+each naming an injector from the :data:`~repro.faults.plan.FAULTS`
+registry plus its parameters, and a seed for the clauses that place
+themselves randomly.  It deliberately mirrors
+:class:`~repro.core.spec.ScenarioSpec`'s design: content-addressable,
+validated on construction, rejected on unknown keys — and it folds into
+the scenario spec (``ScenarioSpec(faults=...)``) such that an *absent*
+fault spec leaves every pre-existing spec hash untouched.
+
+The spec is declarative only; :func:`~repro.faults.plan.build_plan`
+realizes it into a concrete :class:`~repro.faults.plan.FaultPlan`
+(deterministic timelines of fault windows) at stack-build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One injector invocation: a registry kind plus its parameters."""
+
+    kind: str
+    params: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.kind, str) or not self.kind:
+            raise ValueError("fault clause needs a non-empty 'kind' string")
+        for key, value in self.params.items():
+            if not isinstance(key, str):
+                raise ValueError(
+                    f"fault clause {self.kind!r}: parameter names must be "
+                    f"strings, got {key!r}"
+                )
+            if value is not None and not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"fault clause {self.kind!r}: parameter {key!r} must "
+                    f"be numeric or null, got {type(value).__name__}"
+                )
+
+    def to_dict(self) -> Dict:
+        data = {"kind": self.kind}
+        data.update(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultClause":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"fault clause must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        if "kind" not in data:
+            raise ValueError("fault clause missing 'kind'")
+        params = {k: v for k, v in data.items() if k != "kind"}
+        return cls(kind=str(data["kind"]), params=params)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A declarative fault schedule (frozen, JSON-round-trippable).
+
+    Attributes:
+        events: the fault clauses, applied independently.
+        seed: extra entropy for clauses placed randomly (folded with the
+            scenario seed, so a seed sweep varies the schedule too).
+    """
+
+    events: Tuple[FaultClause, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        normalized = tuple(
+            e if isinstance(e, FaultClause) else FaultClause.from_dict(e)
+            for e in self.events
+        )
+        object.__setattr__(self, "events", normalized)
+        if not isinstance(self.seed, int):
+            raise ValueError("fault seed must be an integer")
+
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def kinds(self) -> List[str]:
+        return [e.kind for e in self.events]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Plain JSON-ready dict (the ``ScenarioSpec.faults`` payload)."""
+        data: Dict = {"events": [e.to_dict() for e in self.events]}
+        if self.seed:
+            data["seed"] = self.seed
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSpec":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"fault spec must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {"events", "seed"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown FaultSpec field(s) {unknown}; known fields: "
+                f"{', '.join(sorted(known))}"
+            )
+        events = data.get("events", ())
+        if not isinstance(events, (list, tuple)):
+            raise ValueError("FaultSpec 'events' must be a list")
+        return cls(
+            events=tuple(FaultClause.from_dict(e) for e in events),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+__all__ = ["FaultClause", "FaultSpec"]

@@ -88,6 +88,11 @@ class BottleneckLink:
         self.flows = 0
         self._shared = False
         self._last_service_t: Optional[float] = None
+        # Optional FaultPlan (set by the backend factory): latency-channel
+        # windows add to the propagation RTT, loss-channel windows drop
+        # serviced packets via a deterministic accumulator.
+        self.fault_plan = None
+        self._loss_accum = 0.0
         # Lifetime instance counters (cross-session conservation law).
         self.offered_packets = 0
         self.delivered_packets = 0
@@ -126,10 +131,33 @@ class BottleneckLink:
         demand = self.cross_demand.bandwidth_bps(t)
         return max(capacity - demand, self.fairness_floor * capacity, 1e3)
 
+    def _rtt_base(self, t: float) -> float:
+        """Propagation RTT plus any injected latency-fault extra."""
+        if self.fault_plan is not None:
+            return self.base_rtt + self.fault_plan.extra_latency(t)
+        return self.base_rtt
+
+    def _inject_loss(self, t: float, delivered: int) -> int:
+        """Injected loss-fault drops among ``delivered`` packets.
+
+        A fractional accumulator (not an RNG) keeps the drop pattern a
+        pure function of the offer sequence, so shared-link multiclient
+        runs stay byte-reproducible at any worker count.
+        """
+        if self.fault_plan is None or delivered <= 0:
+            return 0
+        rate = self.fault_plan.loss_rate(t)
+        if rate <= 0.0:
+            return 0
+        self._loss_accum += delivered * rate
+        injected = min(int(self._loss_accum), delivered)
+        self._loss_accum -= injected
+        return injected
+
     def current_rtt(self, t: float) -> float:
         """Propagation plus queueing delay at time ``t``."""
         service = self.available_bps(t)
-        return self.base_rtt + self.queue_bytes * 8.0 / service
+        return self._rtt_base(t) + self.queue_bytes * 8.0 / service
 
     def offer_round(self, t: float, packets: int) -> RoundOutcome:
         """Send a burst of ``packets`` through the link over one RTT.
@@ -143,7 +171,7 @@ class BottleneckLink:
         if self._shared:
             return self._offer_round_shared(t, packets)
         service = self.available_bps(t)
-        rtt = self.base_rtt + self.queue_bytes * 8.0 / service
+        rtt = self._rtt_base(t) + self.queue_bytes * 8.0 / service
 
         # Bytes the link can serve while this round is in flight.
         serviceable = service * rtt / 8.0
@@ -158,6 +186,11 @@ class BottleneckLink:
 
         dropped = min(int(dropped_bytes // self.mtu), packets)
         delivered = packets - dropped
+        # Loss-fault drops hit packets that survived the queue (wire
+        # corruption happens after service).
+        injected = self._inject_loss(t, delivered)
+        dropped += injected
+        delivered -= injected
         self._account(packets, delivered, dropped)
         return RoundOutcome(
             delivered_packets=delivered,
@@ -186,7 +219,7 @@ class BottleneckLink:
 
         # Queueing delay seen by this burst: the backlog already ahead
         # of it at arrival.
-        rtt = self.base_rtt + self.queue_bytes * 8.0 / service
+        rtt = self._rtt_base(t) + self.queue_bytes * 8.0 / service
 
         arrivals = packets * self.mtu
         backlog = self.queue_bytes + arrivals
@@ -196,6 +229,9 @@ class BottleneckLink:
 
         dropped = min(int(dropped_bytes // self.mtu), packets)
         delivered = packets - dropped
+        injected = self._inject_loss(t, delivered)
+        dropped += injected
+        delivered -= injected
         self._account(packets, delivered, dropped)
         return RoundOutcome(
             delivered_packets=delivered,

@@ -59,6 +59,11 @@ class PacketRouter:
         self.propagation_s = propagation_s
         self._queue: Deque[Packet] = deque()
         self._serving = False
+        # Optional FaultPlan (set by the backend factory): loss-channel
+        # windows corrupt arriving packets via a deterministic
+        # accumulator, latency-channel windows stretch propagation.
+        self.fault_plan = None
+        self._loss_accum = 0.0
         # Lifetime counters (observability + tests).
         self.offered_packets = 0
         self.delivered_packets = 0
@@ -72,6 +77,19 @@ class PacketRouter:
             self.dropped_packets += 1
             packet.flow.on_dropped(packet)
             return
+        if self.fault_plan is not None:
+            # Injected wire loss: a fractional accumulator (not an RNG)
+            # keeps the drop pattern a pure function of the arrival
+            # sequence, so shared-router multiclient runs stay
+            # byte-reproducible at any worker count.
+            rate = self.fault_plan.loss_rate(self.scheduler.now)
+            if rate > 0.0:
+                self._loss_accum += rate
+                if self._loss_accum >= 1.0:
+                    self._loss_accum -= 1.0
+                    self.dropped_packets += 1
+                    packet.flow.on_dropped(packet)
+                    return
         self._queue.append(packet)
         if not self._serving:
             self._serving = True
@@ -93,9 +111,15 @@ class PacketRouter:
         def finish() -> None:
             served = self._queue.popleft()
             self.delivered_packets += 1
-            # Propagation to the client, then notify the flow.
+            # Propagation to the client (stretched by any latency fault
+            # active at service time), then notify the flow.
+            propagation = self.propagation_s
+            if self.fault_plan is not None:
+                propagation += self.fault_plan.extra_latency(
+                    self.scheduler.now
+                )
             self.scheduler.schedule(
-                self.propagation_s, lambda: served.flow.on_delivered(served)
+                propagation, lambda: served.flow.on_delivered(served)
             )
             self._schedule_service()
 

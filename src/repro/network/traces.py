@@ -139,81 +139,138 @@ _DEFAULT_DURATION = 320  # seconds; slightly longer than a 75x4 s video
 
 
 @TRACES.register(
-    "tmobile", "T-Mobile-LTE-like: extreme variability, long fades"
+    "tmobile",
+    "T-Mobile-LTE-like: extreme variability, long fades "
+    "(outage_level/outage_prob/outage_mean_len tunable)",
 )
-def tmobile_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+def tmobile_trace(
+    seed: int = 0,
+    duration: int = _DEFAULT_DURATION,
+    outage_level: Optional[float] = 0.5,
+    outage_prob: float = 0.028,
+    outage_mean_len: float = 4.0,
+) -> NetworkTrace:
     """T-Mobile-LTE-like: extreme variability (std ~10 Mbps), long fades."""
     rng = _seed_from("tmobile", seed)
     raw = _regime_switching(
         rng, duration,
         levels_mbps=[2.5, 7.0, 14.0],
         stay_prob=0.93, sigma=0.62,
-        outage_level=0.5, outage_prob=0.028, outage_mean_len=4.0,
+        outage_level=outage_level, outage_prob=outage_prob,
+        outage_mean_len=outage_mean_len,
     )
     return NetworkTrace("tmobile", raw).offset_to_mean(10.0)
 
 
 @TRACES.register(
-    "verizon", "Verizon-LTE-like: high variability, shorter fades"
+    "verizon",
+    "Verizon-LTE-like: high variability, shorter fades "
+    "(outage_level/outage_prob/outage_mean_len tunable)",
 )
-def verizon_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+def verizon_trace(
+    seed: int = 0,
+    duration: int = _DEFAULT_DURATION,
+    outage_level: Optional[float] = 1.5,
+    outage_prob: float = 0.01,
+    outage_mean_len: float = 2.0,
+) -> NetworkTrace:
     """Verizon-LTE-like: high variability (std ~9 Mbps), shorter fades."""
     rng = _seed_from("verizon", seed)
     raw = _regime_switching(
         rng, duration,
         levels_mbps=[4.0, 8.5, 15.0],
         stay_prob=0.92, sigma=0.55,
-        outage_level=1.5, outage_prob=0.01, outage_mean_len=2.0,
+        outage_level=outage_level, outage_prob=outage_prob,
+        outage_mean_len=outage_mean_len,
     )
     return NetworkTrace("verizon", raw).offset_to_mean(10.0)
 
 
-@TRACES.register("att", "AT&T-LTE-like: mild variability, no deep fades")
-def att_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+@TRACES.register(
+    "att",
+    "AT&T-LTE-like: mild variability, no deep fades by default "
+    "(outage_level/outage_prob/outage_mean_len tunable)",
+)
+def att_trace(
+    seed: int = 0,
+    duration: int = _DEFAULT_DURATION,
+    outage_level: Optional[float] = None,
+    outage_prob: float = 0.0,
+    outage_mean_len: float = 3.0,
+) -> NetworkTrace:
     """AT&T-LTE-like: mild variability (std ~2.9 Mbps), no deep fades."""
     rng = _seed_from("att", seed)
     raw = _regime_switching(
         rng, duration,
         levels_mbps=[7.0, 10.0, 13.0],
         stay_prob=0.85, sigma=0.18,
+        outage_level=outage_level, outage_prob=outage_prob,
+        outage_mean_len=outage_mean_len,
     )
     return NetworkTrace("att", raw).offset_to_mean(10.0)
 
 
 @TRACES.register(
-    "3g", "Riiser 3G commute trace offset to 10 Mbps (low variability)",
+    "3g",
+    "Riiser 3G commute trace offset to 10 Mbps, low variability "
+    "(outage_level/outage_prob/outage_mean_len tunable)",
     aliases=("threeg",),
 )
-def threeg_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+def threeg_trace(
+    seed: int = 0,
+    duration: int = _DEFAULT_DURATION,
+    outage_level: Optional[float] = None,
+    outage_prob: float = 0.0,
+    outage_mean_len: float = 3.0,
+) -> NetworkTrace:
     """The Riiser 3G commute trace, offset to 10 Mbps (std ~1.1 Mbps)."""
     rng = _seed_from("threeg", seed)
     base = _regime_switching(
         rng, duration,
         levels_mbps=[1.2, 2.0, 2.8],
         stay_prob=0.9, sigma=0.25,
+        outage_level=outage_level, outage_prob=outage_prob,
+        outage_mean_len=outage_mean_len,
     )
     return NetworkTrace("3g", base).offset_to_mean(10.0)
 
 
 @TRACES.register(
-    "fcc", "FCC fixed-line broadband: stable with rare dips"
+    "fcc",
+    "FCC fixed-line broadband: stable with rare dips "
+    "(outage_level/outage_prob/outage_mean_len tunable)",
 )
-def fcc_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+def fcc_trace(
+    seed: int = 0,
+    duration: int = _DEFAULT_DURATION,
+    outage_level: Optional[float] = 3.0,
+    outage_prob: float = 0.02,
+    outage_mean_len: float = 2.0,
+) -> NetworkTrace:
     """FCC fixed-line broadband: stable with rare dips (std ~2.35 Mbps)."""
     rng = _seed_from("fcc", seed)
     raw = _regime_switching(
         rng, duration,
         levels_mbps=[9.0, 10.5, 11.5],
         stay_prob=0.93, sigma=0.1,
-        outage_level=3.0, outage_prob=0.02, outage_mean_len=2.0,
+        outage_level=outage_level, outage_prob=outage_prob,
+        outage_mean_len=outage_mean_len,
     )
     return NetworkTrace("fcc", raw).offset_to_mean(10.0)
 
 
 @TRACES.register(
-    "wild", "in-the-wild WiFi-like path: headroom with contention dips"
+    "wild",
+    "in-the-wild WiFi-like path: headroom with contention dips "
+    "(outage_level/outage_prob/outage_mean_len tunable)",
 )
-def wild_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace:
+def wild_trace(
+    seed: int = 0,
+    duration: int = _DEFAULT_DURATION,
+    outage_level: Optional[float] = 1.5,
+    outage_prob: float = 0.02,
+    outage_mean_len: float = 2.0,
+) -> NetworkTrace:
     """In-the-wild university-WiFi-like path (France -> Germany, §5.2).
 
     Plenty of headroom on average, with contention-induced dips — the
@@ -225,7 +282,8 @@ def wild_trace(seed: int = 0, duration: int = _DEFAULT_DURATION) -> NetworkTrace
         rng, duration,
         levels_mbps=[6.0, 14.0, 22.0],
         stay_prob=0.85, sigma=0.22,
-        outage_level=1.5, outage_prob=0.02, outage_mean_len=2.0,
+        outage_level=outage_level, outage_prob=outage_prob,
+        outage_mean_len=outage_mean_len,
     )
     return NetworkTrace("wild", raw).offset_to_mean(12.0)
 

@@ -241,6 +241,55 @@ def _bench_multiclient(tiny, seed: int) -> Dict[str, float]:
     }
 
 
+def _bench_resilience(tiny, seed: int) -> Dict[str, float]:
+    """A faulted session under the retry/degradation machinery, audited.
+
+    Benchmarks the fault-injection hot path (deadline checks, fault-plan
+    window queries, retry/backoff bookkeeping) and doubles as a
+    regression tripwire: ``audit_ok`` feeds bench gating, so a PR that
+    breaks retry accounting fails the comparison even if it got faster.
+    """
+    from repro.core.build import StackBuilder
+    from repro.core.spec import ScenarioSpec
+    from repro.experiments.chaos import CHAOS_PROFILES
+    from repro.obs.invariants import TraceAuditor
+
+    spec = ScenarioSpec(
+        video=tiny.name,
+        abr="abr_star",
+        trace="verizon",
+        seed=seed,
+        buffer_segments=2,
+        faults=CHAOS_PROFILES["mixed"],
+        request_timeout_s=2.0,
+        retry_budget=2,
+    )
+    auditor = TraceAuditor()
+    tracer = Tracer(observers=[auditor.feed])
+    session = StackBuilder(spec, prepared=tiny).build(tracer=tracer)
+    t0 = time.perf_counter()
+    metrics = session.run()
+    wall = max(time.perf_counter() - t0, 1e-9)
+    report = auditor.finalize()
+    summary = metrics.summary()
+    events = len(tracer)
+    return {
+        "kind": "macro",
+        "workload": tiny.name,
+        "wall_s": wall,
+        "sim_s": metrics.wall_duration,
+        "sim_s_per_wall_s": metrics.wall_duration / wall,
+        "events": events,
+        "events_per_s": events / wall,
+        "peak_trace_bytes": len(tracer.to_jsonl()),
+        "segments": len(metrics.records),
+        "faults_injected": summary.get("faults_injected", 0.0),
+        "retries": summary.get("retries", 0.0),
+        "degraded_segments": summary.get("degraded_segments", 0.0),
+        "audit_ok": report.ok,
+    }
+
+
 def _bench_parallel_runner(tiny, seed: int) -> Dict[str, float]:
     """Serial vs parallel trial executor on the same experiment cell."""
     from repro.experiments.runner import ExperimentConfig, run_trials
@@ -326,6 +375,9 @@ def run_suite(
         # Multi-client contention and the parallel trial executor always
         # use the tiny workload — they each run several full sessions.
         benchmarks["macro.multiclient"] = _bench_multiclient(tiny, seed)
+        # Chaos cell: the resilience machinery under the mixed fault
+        # profile, with the inline invariant auditor attached.
+        benchmarks["macro.resilience"] = _bench_resilience(tiny, seed)
         benchmarks["macro.parallel_runner"] = _bench_parallel_runner(
             tiny, seed
         )

@@ -36,6 +36,12 @@ TRANSPORT_ROUND = "transport_round"
 PACKET_LOSS = "packet_loss"
 # Event types (shared-link / multi-client layer)
 LINK_STATS = "link_stats"    # lifetime counters of a shared bottleneck
+# Event types (fault injection / resilience layer)
+FAULT_INJECTED = "fault_injected"      # one planned fault window/point
+REQUEST_TIMEOUT = "request_timeout"    # per-request deadline expired
+CONNECTION_RESET = "connection_reset"  # injected mid-download reset
+RETRY = "retry"                        # backoff + partial-range resume
+DEGRADED = "degraded"                  # retry budget exhausted: floor/skip
 
 #: type -> required payload fields.  Emission and parsing both validate
 #: against this map, so a trace that round-trips is schema conformant.
@@ -68,6 +74,24 @@ EVENT_FIELDS: Dict[str, tuple] = {
     LINK_STATS: (
         "offered_packets", "dropped_packets", "delivered_packets", "flows",
     ),
+    # Fault injection / resilience.  ``accounted_bytes`` on a failure is
+    # the cumulative bytes of the current download chain that will NOT
+    # be re-requested (delivered + deliberately-lost); a following
+    # ``retry`` must resume at exactly that offset (the retry-accounting
+    # invariant).  ``delivered_bytes`` is the usable subset.
+    FAULT_INJECTED: ("kind", "start", "duration", "value"),
+    REQUEST_TIMEOUT: (
+        "segment", "attempt", "elapsed", "accounted_bytes",
+        "delivered_bytes",
+    ),
+    CONNECTION_RESET: (
+        "segment", "attempt", "accounted_bytes", "delivered_bytes",
+    ),
+    RETRY: (
+        "segment", "attempt", "backoff_s", "resume_bytes",
+        "remaining_bytes",
+    ),
+    DEGRADED: ("segment", "mode", "attempts", "wasted_bytes"),
 }
 
 #: type -> optional payload fields.  Optional fields may be absent (older
@@ -81,6 +105,13 @@ OPTIONAL_FIELDS: Dict[str, tuple] = {
     SESSION_START: ("num_levels", "spec_hash"),
     TRUNCATE: ("reliable_bytes",),
     TRANSPORT_ROUND: ("inflight",),
+    # context: "segment" (default when absent), "repair", or "manifest".
+    # The retry-accounting invariant only binds segment-context failures;
+    # repairs and manifest fetches degrade silently by design.
+    REQUEST_TIMEOUT: ("context", "deadline_s"),
+    CONNECTION_RESET: ("context", "at"),
+    RETRY: ("context",),
+    DEGRADED: ("context", "to_quality"),
 }
 
 #: Optional fields every event type may carry.  ``session_id`` tags

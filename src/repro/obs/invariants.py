@@ -30,6 +30,12 @@ contract the paper's design relies on:
   ``session_end`` equal the sum of the ``stall`` events, and
   ``buf_ratio`` is that total over the media duration — the
   :class:`~repro.player.metrics.SessionMetrics` and the trace agree.
+* ``retry_accounting`` — every request failure (``request_timeout`` /
+  ``connection_reset``) on a segment download resolves to exactly one
+  ``retry`` or ``degraded`` event before the download ends, and the
+  bytes the retry resumes from equal the bytes the failed chain had
+  accounted — nothing is re-fetched or double-counted across retries
+  (the resilience layer's contract).
 
 The auditor is incremental: :meth:`TraceAuditor.feed` consumes one event
 at a time, so it can run inline as a tracer observer (catching
@@ -63,6 +69,7 @@ INVARIANTS: Dict[str, str] = {
     "abr_legality": "decisions walk segments in order with ladder-legal qualities matching each download attempt",
     "stall_accounting": "session_end stall totals and bufRatio equal the sum of stall events",
     "shared_link_conservation": "a shared link's delivered + dropped packets equal the packets the sessions offered",
+    "retry_accounting": "every request failure resolves to exactly one retry or degradation, with bytes conserved across the retry chain",
 }
 
 
@@ -126,6 +133,9 @@ class TraceAuditor:
         self._decided_quality: Dict[int, int] = {}
         self._abandon_quality: Dict[int, int] = {}
         self._wire_bytes: Dict[int, int] = {}
+        # Retry-accounting state: segment -> the unresolved failure event
+        # (request_timeout / connection_reset awaiting a retry/degraded).
+        self._pending_failure: Dict[int, TraceEvent] = {}
 
     # ------------------------------------------------------------------
     def _flag(self, invariant: str, event: TraceEvent, message: str) -> None:
@@ -145,6 +155,13 @@ class TraceAuditor:
 
     def finalize(self) -> AuditReport:
         """Close the audit and return the report."""
+        for segment, failure in sorted(self._pending_failure.items()):
+            self._flag(
+                "retry_accounting", failure,
+                f"segment {segment}: {failure.type} never resolved to a "
+                f"retry or degradation before the trace ended",
+            )
+        self._pending_failure.clear()
         return AuditReport(
             events=self._index + 1, violations=list(self.violations)
         )
@@ -372,6 +389,98 @@ class TraceAuditor:
         if float(f["stall"]) < 0:
             self._flag("stall_accounting", event,
                        f"download_end stall {f['stall']} < 0")
+        pending = self._pending_failure.pop(segment, None)
+        if pending is not None:
+            self._flag(
+                "retry_accounting", event,
+                f"segment {segment}: download ended with an unresolved "
+                f"{pending.type} (no retry or degraded event followed)",
+            )
+
+    # -- resilience layer -----------------------------------------------
+    @staticmethod
+    def _segment_scope(fields: Dict) -> bool:
+        """Retry accounting binds only segment-download failures; one-off
+        repair/manifest failures carry a ``context`` tag and resolve out
+        of band."""
+        return fields.get("context", "segment") == "segment"
+
+    def _on_request_failure(self, event: TraceEvent) -> None:
+        f = event.fields
+        if not self._segment_scope(f):
+            return
+        segment = int(f["segment"])
+        if int(f["accounted_bytes"]) < int(f["delivered_bytes"]):
+            self._flag(
+                "retry_accounting", event,
+                f"segment {segment}: accounted bytes "
+                f"{f['accounted_bytes']} below delivered "
+                f"{f['delivered_bytes']} (accounting lost bytes)",
+            )
+        previous = self._pending_failure.get(segment)
+        if previous is not None:
+            self._flag(
+                "retry_accounting", event,
+                f"segment {segment}: {event.type} while the previous "
+                f"{previous.type} is still unresolved",
+            )
+        self._pending_failure[segment] = event
+
+    def _on_retry(self, event: TraceEvent) -> None:
+        f = event.fields
+        if not self._segment_scope(f):
+            return
+        segment = int(f["segment"])
+        failure = self._pending_failure.pop(segment, None)
+        if failure is None:
+            self._flag(
+                "retry_accounting", event,
+                f"segment {segment}: retry without a preceding "
+                f"unresolved failure",
+            )
+            return
+        resume = int(f["resume_bytes"])
+        accounted = int(failure.fields["accounted_bytes"])
+        if resume != accounted:
+            self._flag(
+                "retry_accounting", event,
+                f"segment {segment}: retry resumes at byte {resume} but "
+                f"the failed chain accounted {accounted} — bytes were "
+                f"{'re-fetched' if resume < accounted else 'skipped'} "
+                f"across the retry",
+            )
+        if float(f["backoff_s"]) < 0:
+            self._flag("retry_accounting", event,
+                       f"negative backoff {f['backoff_s']}")
+
+    def _on_degraded(self, event: TraceEvent) -> None:
+        f = event.fields
+        mode = f["mode"]
+        if mode not in ("floor", "skip"):
+            self._flag("retry_accounting", event,
+                       f"unknown degradation mode {mode!r}")
+        if not self._segment_scope(f):
+            return
+        segment = int(f["segment"])
+        failure = self._pending_failure.pop(segment, None)
+        if failure is None:
+            self._flag(
+                "retry_accounting", event,
+                f"segment {segment}: degraded without a preceding "
+                f"unresolved failure",
+            )
+        if mode == "floor":
+            to_quality = f.get("to_quality")
+            if to_quality is None:
+                self._flag(
+                    "retry_accounting", event,
+                    f"segment {segment}: floor degradation without a "
+                    f"to_quality authorizing the fallback attempt",
+                )
+            else:
+                # The degradation authorizes the follow-up attempt the
+                # same way an abandon does.
+                self._abandon_quality[segment] = int(to_quality)
 
     # -- transport layer ------------------------------------------------
     def _on_transport_round(self, event: TraceEvent) -> None:
@@ -421,6 +530,10 @@ class TraceAuditor:
         ev.DOWNLOAD_END: _on_download_end,
         ev.TRANSPORT_ROUND: _on_transport_round,
         ev.PACKET_LOSS: _on_packet_loss,
+        ev.REQUEST_TIMEOUT: _on_request_failure,
+        ev.CONNECTION_RESET: _on_request_failure,
+        ev.RETRY: _on_retry,
+        ev.DEGRADED: _on_degraded,
     }
 
 

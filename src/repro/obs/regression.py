@@ -51,7 +51,7 @@ class ComparisonRow:
     baseline_s: Optional[float]
     current_s: Optional[float]
     delta_pct: Optional[float]
-    status: str  # "ok" | "regression" | "missing" | "new"
+    status: str  # "ok" | "regression" | "missing" | "new" | "broken"
 
 
 @dataclass
@@ -70,8 +70,12 @@ class Comparison:
         return [r for r in self.rows if r.status == "missing"]
 
     @property
+    def broken(self) -> List[ComparisonRow]:
+        return [r for r in self.rows if r.status == "broken"]
+
+    @property
     def failed(self) -> bool:
-        return bool(self.regressions or self.missing)
+        return bool(self.regressions or self.missing or self.broken)
 
 
 def compare_payloads(
@@ -84,7 +88,9 @@ def compare_payloads(
     A benchmark regresses when its wall time grows by at least
     ``threshold_pct`` percent over the baseline.  Benchmarks only in the
     baseline are ``missing`` (a failure); benchmarks only in the current
-    run are ``new`` (informational).
+    run are ``new`` (informational).  A current benchmark carrying a
+    falsy ``audit_ok`` (the resilience macro audits its own trace) is
+    ``broken`` — a correctness failure that gates regardless of speed.
     """
     if threshold_pct <= 0:
         raise ValueError("threshold must be positive")
@@ -110,7 +116,12 @@ def compare_payloads(
         base_s = float(base["wall_s"])
         cur_s = float(cur["wall_s"])
         delta = (cur_s - base_s) / base_s * 100.0 if base_s > 0 else 0.0
-        status = "regression" if delta >= threshold_pct else "ok"
+        if not cur.get("audit_ok", True):
+            status = "broken"
+        elif delta >= threshold_pct:
+            status = "regression"
+        else:
+            status = "ok"
         comparison.rows.append(ComparisonRow(
             name=name, baseline_s=base_s, current_s=cur_s,
             delta_pct=delta, status=status,
@@ -130,7 +141,10 @@ def format_comparison(comparison: Comparison) -> str:
             lines.append(f"{row.name:28s} {row.baseline_s:8.4f}s -> "
                          f"{'':>10s}  MISSING")
         else:
-            marker = "REGRESSION" if row.status == "regression" else "ok"
+            marker = {
+                "regression": "REGRESSION",
+                "broken": "AUDIT-FAIL",
+            }.get(row.status, "ok")
             lines.append(
                 f"{row.name:28s} {row.baseline_s:8.4f}s -> "
                 f"{row.current_s:8.4f}s  {row.delta_pct:+7.1f}%  {marker}"
@@ -138,7 +152,8 @@ def format_comparison(comparison: Comparison) -> str:
     if comparison.failed:
         lines.append(
             f"FAIL: {len(comparison.regressions)} regression(s), "
-            f"{len(comparison.missing)} missing benchmark(s)"
+            f"{len(comparison.missing)} missing benchmark(s), "
+            f"{len(comparison.broken)} broken benchmark(s)"
         )
     else:
         lines.append("ok: no regressions")

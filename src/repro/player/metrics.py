@@ -39,6 +39,8 @@ class SegmentRecord:
     truncated: bool  # ABR*-style keep-partial truncation happened
     wasted_bytes: int  # discarded by restarts
     segment_duration: float = 4.0  # seconds of media this segment covers
+    retries: int = 0  # timeout/reset retries spent on this segment
+    degraded: str = ""  # "", "floor", or "skip" (budget exhausted)
 
     @property
     def delivered_bitrate_bps(self) -> float:
@@ -61,6 +63,17 @@ class SessionMetrics:
     media_duration: float
     wall_duration: float
     segment_duration: float = 4.0
+    # Resilience counters.  ``resilience`` flags whether the session ran
+    # with the fault/retry machinery active; when False the counters are
+    # structurally zero and :meth:`summary` omits them entirely, keeping
+    # no-fault outputs byte-identical to pre-resilience behaviour.
+    resilience: bool = False
+    faults_injected: int = 0
+    request_timeouts: int = 0
+    connection_resets: int = 0
+    retries: int = 0
+    degraded_segments: int = 0
+    backoff_s: float = 0.0
 
     @property
     def buf_ratio(self) -> float:
@@ -153,7 +166,7 @@ class SessionMetrics:
         return np.sort(self.scores)
 
     def summary(self) -> Dict[str, float]:
-        return {
+        data = {
             "buf_ratio": self.buf_ratio,
             "startup_delay": self.startup_delay,
             "mean_ssim": self.mean_ssim,
@@ -166,6 +179,14 @@ class SessionMetrics:
             "segments_with_drops": float(self.segments_with_drops),
             "wall_duration": self.wall_duration,
         }
+        if self.resilience:
+            data["faults_injected"] = float(self.faults_injected)
+            data["request_timeouts"] = float(self.request_timeouts)
+            data["connection_resets"] = float(self.connection_resets)
+            data["retries"] = float(self.retries)
+            data["degraded_segments"] = float(self.degraded_segments)
+            data["backoff_s"] = self.backoff_s
+        return data
 
 
 def percentile_across(

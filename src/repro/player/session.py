@@ -42,7 +42,13 @@ from repro.prep.prepare import PreparedVideo
 from repro.qoe.metrics import SSIM, QoEMetric
 from repro.qoe.model import decode_segment
 from repro.transport.backends import make_backend
+from repro.transport.base import RetryBudgetExhausted, TransportFault
 from repro.transport.http import SegmentDelivery, VoxelHttp
+from repro.transport.resilience import (
+    RetryContext,
+    RetryPolicy,
+    resilient_download_iter,
+)
 
 
 @dataclass
@@ -71,6 +77,16 @@ class SessionConfig:
     # both systems would pay the same).
     manifest_fetch: str = "free"  # "free" | "incremental" | "full"
     manifest_window_segments: int = 4
+    # Resilience.  ``fault_plan`` is a realized
+    # :class:`~repro.faults.plan.FaultPlan` (built by the StackBuilder
+    # from the scenario's FaultSpec); the retry knobs govern the client's
+    # deadline/backoff policy.  The resilience machinery activates only
+    # when a plan or a deadline is configured — otherwise the session
+    # takes the exact legacy code paths (byte-identical output).
+    request_timeout_s: Optional[float] = None
+    retry_budget: int = 3
+    retry_backoff_s: float = 0.5
+    fault_plan: Optional[object] = None
 
     def buffer_capacity_s(self, segment_duration: float) -> float:
         return self.buffer_segments * segment_duration
@@ -153,6 +169,23 @@ class StreamingSession:
         self.abr.setup(self.manifest, self.buffer.capacity_s)
         self._throughput_samples: List[float] = []
         self._pending_repairs: List[_PendingRepair] = []
+        self._resilience = (
+            self.config.fault_plan is not None
+            or self.config.request_timeout_s is not None
+        )
+        self._retry_policy: Optional[RetryPolicy] = None
+        self._res_counts: Dict[str, float] = {}
+        self._segment_retries: Dict[int, int] = {}
+        if self._resilience:
+            self._retry_policy = RetryPolicy(
+                request_timeout_s=self.config.request_timeout_s,
+                retry_budget=self.config.retry_budget,
+                backoff_base_s=self.config.retry_backoff_s,
+            )
+            self._res_counts = {
+                "faults": 0, "timeouts": 0, "resets": 0,
+                "retries": 0, "degraded": 0, "backoff": 0.0,
+            }
         self._records: List[SegmentRecord] = []
         self._total_stall = 0.0
         self._startup_delay = 0.0
@@ -169,6 +202,21 @@ class StreamingSession:
         self._ctr_repaired = registry.counter(
             "session.repaired_bytes", abr=self.abr.name
         )
+        if self._resilience:
+            # Only materialized when the fault/retry machinery is active,
+            # keeping no-fault metric dumps identical to legacy runs.
+            self._ctr_timeouts = registry.counter(
+                "session.request_timeouts", abr=self.abr.name
+            )
+            self._ctr_resets = registry.counter(
+                "session.connection_resets", abr=self.abr.name
+            )
+            self._ctr_retries = registry.counter(
+                "session.retries", abr=self.abr.name
+            )
+            self._ctr_degraded = registry.counter(
+                "session.degraded_segments", abr=self.abr.name
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -237,6 +285,21 @@ class StreamingSession:
                 num_levels=self.manifest.num_levels,
                 **extra,
             )
+        plan = self.config.fault_plan
+        if plan is not None:
+            # Announce the realized fault schedule up front: every window
+            # the plan will apply is visible in the trace before any
+            # request can hit it.
+            self._res_counts["faults"] = len(plan.windows)
+            if self.tracer.enabled:
+                for window in plan.windows:
+                    self.tracer.emit(
+                        ev.FAULT_INJECTED,
+                        kind=window.kind,
+                        start=window.start,
+                        duration=window.duration,
+                        value=window.value,
+                    )
         yield from self._before_session()
         for index in range(video.num_segments):
             yield from self._before_segment(index)
@@ -264,6 +327,13 @@ class StreamingSession:
             media_duration=video.duration,
             wall_duration=self.clock.now - start_clock,
             segment_duration=self.segment_duration,
+            resilience=self._resilience,
+            faults_injected=int(self._res_counts.get("faults", 0)),
+            request_timeouts=int(self._res_counts.get("timeouts", 0)),
+            connection_resets=int(self._res_counts.get("resets", 0)),
+            retries=int(self._res_counts.get("retries", 0)),
+            degraded_segments=int(self._res_counts.get("degraded", 0)),
+            backoff_s=float(self._res_counts.get("backoff", 0.0)),
         )
         if self.tracer.enabled:
             self.tracer.emit(
@@ -296,9 +366,27 @@ class StreamingSession:
             total = int(total * window / self.manifest.num_segments)
         elif mode != "full":
             raise ValueError(f"unknown manifest_fetch mode {mode!r}")
-        result = yield from self.connection.download_iter(
-            total, reliable=True
-        )
+        retry = self._make_retry(-1, context="manifest")
+        try:
+            result = yield from resilient_download_iter(
+                self.connection, total, reliable=True, retry=retry
+            )
+        except RetryBudgetExhausted as exc:
+            # Startup must not wedge on a dead manifest server: record the
+            # degradation and stream with the metadata baked into the
+            # prepared video (the cost simply was not paid).
+            self._bump("degraded", counter=self._ctr_degraded)
+            self._startup_delay += exc.elapsed
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.DEGRADED,
+                    segment=-1,
+                    mode="skip",
+                    attempts=exc.attempts,
+                    wasted_bytes=exc.kept_bytes,
+                    context="manifest",
+                )
+            return
         self._startup_delay += result.elapsed
         if self.tracer.enabled:
             self.tracer.emit(
@@ -325,6 +413,87 @@ class StreamingSession:
         self._ctr_stall.inc(stall)
         if self.tracer.enabled:
             self.tracer.emit(ev.STALL, duration=stall, segment=segment)
+
+    # ------------------------------------------------------------------
+    def _bump(self, key: str, amount: float = 1, counter=None) -> None:
+        self._res_counts[key] = self._res_counts.get(key, 0) + amount
+        if counter is not None:
+            counter.inc(amount)
+
+    def _make_retry(
+        self,
+        segment: int,
+        context: str = "segment",
+        policy: Optional[RetryPolicy] = None,
+    ) -> Optional[RetryContext]:
+        """Per-segment retry context with trace/metric side effects.
+
+        Returns None when resilience is off, which makes every wrapped
+        download a byte-exact passthrough.
+        """
+        if not self._resilience:
+            return None
+        session = self
+
+        def notify(kind: str, **fields) -> None:
+            if context != "segment":
+                fields["context"] = context
+            if kind == "timeout":
+                session._bump("timeouts", counter=session._ctr_timeouts)
+                event = ev.REQUEST_TIMEOUT
+            elif kind == "reset":
+                session._bump("resets", counter=session._ctr_resets)
+                # The reset event records where the chain stood, not how
+                # long the attempt ran (its schema has no elapsed field).
+                fields.pop("elapsed", None)
+                event = ev.CONNECTION_RESET
+            else:  # "retry"
+                session._bump("retries", counter=session._ctr_retries)
+                session._bump("backoff", fields.get("backoff_s", 0.0))
+                if context == "segment":
+                    session._segment_retries[segment] = (
+                        session._segment_retries.get(segment, 0) + 1
+                    )
+                event = ev.RETRY
+            if session.tracer.enabled:
+                session.tracer.emit(event, segment=segment, **fields)
+
+        return RetryContext(
+            policy=policy if policy is not None else self._retry_policy,
+            notify=notify,
+        )
+
+    def _note_failure(
+        self, fault: TransportFault, segment: int, context: str
+    ) -> None:
+        """Trace/count a one-off transport failure outside a retry chain."""
+        if not self._resilience:
+            return
+        if fault.kind == "timeout":
+            self._bump("timeouts", counter=self._ctr_timeouts)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.REQUEST_TIMEOUT,
+                    segment=segment,
+                    attempt=0,
+                    elapsed=fault.partial.elapsed,
+                    accounted_bytes=fault.accounted_bytes,
+                    delivered_bytes=fault.partial.delivered,
+                    context=context,
+                )
+        else:
+            self._bump("resets", counter=self._ctr_resets)
+            extra = {"at": fault.at} if fault.at is not None else {}
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.CONNECTION_RESET,
+                    segment=segment,
+                    attempt=0,
+                    accounted_bytes=fault.accounted_bytes,
+                    delivered_bytes=fault.partial.delivered,
+                    context=context,
+                    **extra,
+                )
 
     # ------------------------------------------------------------------
     def _wait_for_room(self):
@@ -399,9 +568,20 @@ class StreamingSession:
             budget = int(
                 max(self.throughput_estimate, 1e5) * time_left / 8.0
             )
-            repaired = yield from self.http.refetch_lost_iter(
-                pending.delivery, budget
-            )
+            try:
+                repaired = yield from self.http.refetch_lost_iter(
+                    pending.delivery, budget
+                )
+            except TransportFault as fault:
+                # A failed repair is not worth a retry chain: the lost
+                # intervals stay pending for the next idle window (or
+                # remain residual loss).  Re-establish the connection and
+                # stop repairing for now.
+                self._note_failure(fault, pending.index, context="repair")
+                reconnect = getattr(self.connection, "reconnect", None)
+                if reconnect is not None:
+                    reconnect()
+                break
             if repaired > 0:
                 pending.record.repaired_bytes += repaired
                 pending.record.residual_loss_bytes = (
@@ -451,6 +631,8 @@ class StreamingSession:
         restarts = 0
         wasted = 0
         truncated = False
+        degraded_mode = ""
+        retry = self._make_retry(index)
 
         while True:
             entry = self.manifest.entry(decision.quality, index)
@@ -470,7 +652,65 @@ class StreamingSession:
                     wire_bytes=total_wire,
                     attempt=restarts,
                 )
-            delivery = yield from self._fetch(entry, decision, progress)
+            try:
+                delivery = yield from self._fetch(
+                    entry, decision, progress, retry
+                )
+            except RetryBudgetExhausted as exc:
+                wasted += exc.delivered_bytes
+                reconnect = getattr(self.connection, "reconnect", None)
+                if reconnect is not None:
+                    reconnect()
+                if degraded_mode == "":
+                    # Graceful degradation, stage 1: abandon the chosen
+                    # quality and fall to the lowest level's reliable
+                    # prefix with a fresh (single-attempt) budget.
+                    degraded_mode = "floor"
+                    self._bump("degraded", counter=self._ctr_degraded)
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            ev.DEGRADED,
+                            segment=index,
+                            mode="floor",
+                            attempts=exc.attempts,
+                            wasted_bytes=exc.kept_bytes,
+                            to_quality=0,
+                        )
+                    restarts += 1
+                    decision = Decision(
+                        quality=0,
+                        target_bytes=self.manifest.entry(
+                            0, index
+                        ).reliable_size,
+                        unreliable=decision.unreliable,
+                    )
+                    # The floor attempt keeps the deadline but has no
+                    # retries left: another failure degrades straight to
+                    # skip, so the segment terminates in bounded time.
+                    retry = self._make_retry(
+                        index,
+                        policy=RetryPolicy(
+                            request_timeout_s=(
+                                self.config.request_timeout_s
+                            ),
+                            retry_budget=0,
+                            backoff_base_s=self.config.retry_backoff_s,
+                        ),
+                    )
+                    continue
+                # Stage 2: even the floor failed — skip the segment.
+                degraded_mode = "skip"
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ev.DEGRADED,
+                        segment=index,
+                        mode="skip",
+                        attempts=exc.attempts,
+                        wasted_bytes=exc.kept_bytes,
+                    )
+                delivery = self._skipped_delivery(decision.quality, entry)
+                truncated = True
+                break
             if restart_to:
                 wasted += delivery.bytes_delivered
                 restarts += 1
@@ -515,10 +755,12 @@ class StreamingSession:
             end - start for start, end in delivery.lost_intervals
         )
         if self.tracer.enabled:
-            if truncated:
+            if truncated and degraded_mode != "skip":
                 # The reliable prefix is only a hard floor on the VOXEL
                 # path: a plain-QUIC truncation cuts the decode-order
-                # stream, where no such boundary exists.
+                # stream, where no such boundary exists.  A skipped
+                # segment is a degradation, not an ABR truncation — the
+                # DEGRADED event already tells that story.
                 extra = {}
                 if self.http.voxel_capable and decision.skip_frames is None:
                     extra["reliable_bytes"] = entry.reliable_size
@@ -549,7 +791,11 @@ class StreamingSession:
                 capacity_s=self.buffer.capacity_s,
             )
 
-        score = self._score_delivery(decision.quality, index, delivery)
+        if degraded_mode == "skip":
+            # Nothing usable arrived; the viewer sees a frozen segment.
+            score = 0.0
+        else:
+            score = self._score_delivery(decision.quality, index, delivery)
         segment = self.prepared.video.segment(decision.quality, index)
         referenced = set(segment.frames.referenced_indices())
         dropped_ref = sum(
@@ -576,6 +822,8 @@ class StreamingSession:
             truncated=truncated,
             wasted_bytes=wasted,
             segment_duration=self.segment_duration,
+            retries=self._segment_retries.get(index, 0),
+            degraded=degraded_mode,
         )
         if delivery.lost_intervals and self.http.voxel_capable:
             self._pending_repairs.append(
@@ -659,10 +907,10 @@ class StreamingSession:
 
         return progress
 
-    def _fetch(self, entry, decision: Decision, progress):
+    def _fetch(self, entry, decision: Decision, progress, retry=None):
         if decision.skip_frames is not None and self.connection.partially_reliable:
             delivery = yield from self._fetch_skip_frames(
-                entry, decision, progress
+                entry, decision, progress, retry
             )
             return delivery
         target = decision.target_bytes
@@ -674,10 +922,12 @@ class StreamingSession:
             target_bytes=target,
             progress=progress,
             force_reliable=force_reliable,
+            retry=retry,
         )
         return delivery
 
-    def _fetch_skip_frames(self, entry, decision: Decision, progress):
+    def _fetch_skip_frames(self, entry, decision: Decision, progress,
+                           retry=None):
         """BETA-style request: the segment minus specific frames, reliable."""
         segment = self.prepared.video.segment(decision.quality, entry.index)
         skip = tuple(decision.skip_frames or ())
@@ -685,8 +935,9 @@ class StreamingSession:
             segment.frames[idx].payload_bytes for idx in skip
         )
         nbytes = entry.total_bytes - skipped_payload
-        result = yield from self.connection.download_iter(
-            nbytes, reliable=True, progress=progress
+        result = yield from resilient_download_iter(
+            self.connection, nbytes, reliable=True, progress=progress,
+            retry=retry,
         )
         return SegmentDelivery(
             entry=entry,
@@ -698,6 +949,20 @@ class StreamingSession:
             unreliable=False,
             lost_intervals=[],
             request_latency=result.request_latency,
+        )
+
+    def _skipped_delivery(self, quality: int, entry) -> SegmentDelivery:
+        """Synthesize the empty delivery of a skipped (degraded) segment."""
+        segment = self.prepared.video.segment(quality, entry.index)
+        return SegmentDelivery(
+            entry=entry,
+            bytes_requested=0,
+            bytes_delivered=0,
+            skipped_frames=list(range(len(segment.frames))),
+            corruption={},
+            elapsed=0.0,
+            unreliable=False,
+            lost_intervals=[],
         )
 
     # ------------------------------------------------------------------

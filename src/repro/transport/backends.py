@@ -69,19 +69,33 @@ def _build_round(
     from repro.obs.tracer import NULL_TRACER
     from repro.transport.connection import QuicConnection
 
+    plan = getattr(config, "fault_plan", None)
     if link is None:
+        if plan is not None:
+            # Bandwidth-channel faults reshape the capacity the link
+            # sees; latency/loss channels hook into the link directly.
+            from repro.faults.plan import FaultedTrace
+
+            trace = FaultedTrace(trace, plan)
         link = LINK_MODELS.get("droptail")(
             trace,
             cross_demand=cross_demand,
             queue_packets=config.queue_packets,
             base_rtt=config.base_rtt,
         )
+        if plan is not None:
+            link.fault_plan = plan
+    # A shared (passed-in) link belongs to the multi-client runner, which
+    # wires run-level faults onto it once; only the per-session
+    # connection faults (resets, deadlines) attach here.
     connection = QuicConnection(
         link,
         clock,
         partially_reliable=config.partially_reliable,
         tracer=tracer if tracer is not None else NULL_TRACER,
     )
+    if plan is not None:
+        connection.fault_plan = plan
     return TransportStack(connection=connection, link=link)
 
 
@@ -105,12 +119,17 @@ def _build_packet(
     from repro.obs.tracer import NULL_TRACER
     from repro.transport.packet_connection import PacketLevelConnection
 
+    plan = getattr(config, "fault_plan", None)
     effective = trace
     if cross_demand is not None:
         effective = cross_traffic_available(trace.mean_mbps(), cross_demand)
     if scheduler is None:
         scheduler = EventScheduler(clock.now)
     if router is None:
+        if plan is not None:
+            from repro.faults.plan import FaultedTrace
+
+            effective = FaultedTrace(effective, plan)
         queue = config.queue_packets
         router = LINK_MODELS.get("packet-router")(
             scheduler,
@@ -118,6 +137,8 @@ def _build_packet(
             queue_packets=queue if queue is not None else 32,
             propagation_s=config.base_rtt / 2.0,
         )
+        if plan is not None:
+            router.fault_plan = plan
     connection = PacketLevelConnection(
         router,
         scheduler,
@@ -125,6 +146,8 @@ def _build_packet(
         partially_reliable=config.partially_reliable,
         tracer=tracer if tracer is not None else NULL_TRACER,
     )
+    if plan is not None:
+        connection.fault_plan = plan
     return TransportStack(connection=connection, scheduler=scheduler)
 
 

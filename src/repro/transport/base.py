@@ -64,6 +64,61 @@ class DownloadResult:
 ProgressFn = Callable[[float, int], Optional[int]]
 
 
+class TransportFault(Exception):
+    """A download died mid-flight (deadline expired or connection reset).
+
+    Carries the partial :class:`DownloadResult` accumulated before the
+    failure so the resilience layer can resume from
+    ``partial.delivered + deliberately-lost`` bytes without re-fetching
+    or double-counting anything.
+
+    Attributes:
+        kind: ``"timeout"`` or ``"reset"``.
+        partial: byte accounting up to the failure point.
+        at: sim-clock time of the injected reset (``None`` for timeouts).
+    """
+
+    def __init__(self, kind: str, partial: DownloadResult,
+                 at: Optional[float] = None):
+        super().__init__(f"transport {kind}")
+        self.kind = kind
+        self.partial = partial
+        self.at = at
+
+    @property
+    def accounted_bytes(self) -> int:
+        """Bytes of this attempt that must NOT be re-requested: delivered
+        plus deliberately-lost (unreliable sends are in-order, so the
+        accounted region is a prefix of the request)."""
+        lost = sum(end - start for start, end in self.partial.lost)
+        return self.partial.delivered + lost
+
+
+class RetryBudgetExhausted(Exception):
+    """The per-segment retry budget ran out; degradation policy applies.
+
+    Attributes:
+        last: the final :class:`TransportFault`.
+        attempts: total attempts made (initial + retries).
+        kept_bytes: bytes accounted across the whole retry chain (already
+            delivered or deliberately lost; never re-fetched).
+        delivered_bytes: usable subset of ``kept_bytes``.
+        elapsed: sim-clock seconds burned across the chain, including
+            backoff waits.
+    """
+
+    def __init__(self, last: TransportFault, attempts: int, kept_bytes: int,
+                 delivered_bytes: int, elapsed: float):
+        super().__init__(
+            f"retry budget exhausted after {attempts} attempts"
+        )
+        self.last = last
+        self.attempts = attempts
+        self.kept_bytes = kept_bytes
+        self.delivered_bytes = delivered_bytes
+        self.elapsed = elapsed
+
+
 def merge_intervals(intervals: List[ByteInterval]) -> List[ByteInterval]:
     """Merge overlapping/adjacent byte intervals (kept sorted)."""
     if not intervals:

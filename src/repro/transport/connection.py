@@ -40,6 +40,7 @@ from repro.transport.base import (
     PAYLOAD_FRACTION,
     ProgressFn,
     REQUEST_RTT_COST,
+    TransportFault,
     merge_intervals,
 )
 from repro.transport.cubic import CubicController
@@ -85,6 +86,9 @@ class QuicConnection:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cc = CubicController()
         self._last_active: Optional[float] = None
+        # Optional FaultPlan (set by the backend factory): reset faults
+        # are checked against it at round boundaries.
+        self.fault_plan = None
         link.attach()
         # Lifetime counters for experiment accounting.
         self.total_delivered = 0
@@ -115,6 +119,7 @@ class QuicConnection:
         nbytes: int,
         reliable: bool = True,
         progress: Optional[ProgressFn] = None,
+        deadline_s: Optional[float] = None,
     ):
         """Fetch ``nbytes`` over one stream, yielding time to the driver.
 
@@ -127,6 +132,12 @@ class QuicConnection:
         The progress callback runs after every round with the elapsed
         time and bytes sent so far; returning an integer truncates the
         request to that many bytes (never below what was already sent).
+
+        With ``deadline_s`` set (or a fault plan attached), the download
+        can die mid-flight: an expired deadline or an injected reset
+        raises :class:`~repro.transport.base.TransportFault` carrying the
+        partial byte accounting.  Faults are detected at round
+        boundaries (the round model cannot interrupt a burst in flight).
 
         This is a kernel process: every ``yield dt`` suspends for ``dt``
         simulated seconds (one request round trip or one congestion
@@ -148,7 +159,6 @@ class QuicConnection:
         # server and the first byte to come back.
         first_rtt = self.link.current_rtt(self.clock.now)
         latency = first_rtt * REQUEST_RTT_COST
-        yield latency
 
         limit = nbytes
         sent_new = 0  # first-transmission bytes sent so far (in order)
@@ -156,8 +166,56 @@ class QuicConnection:
         lost_intervals: List[ByteInterval] = []
         retx_queue = 0  # reliable-mode bytes awaiting retransmission
         rounds = 0
+        plan = self.fault_plan
+        fault_from = start_time  # reset scan resumes where it left off
+
+        def _fail(kind: str, at: Optional[float] = None) -> TransportFault:
+            """Close the books on a failed download (partial accounting)."""
+            intervals = merge_intervals(lost_intervals)
+            lost_total = sum(e - s for s, e in intervals)
+            self.total_delivered += delivered
+            self.total_lost += lost_total
+            self._ctr_rounds.inc(rounds)
+            self._ctr_delivered.inc(delivered)
+            self._ctr_lost.inc(lost_total)
+            self._last_active = self.clock.now
+            return TransportFault(
+                kind,
+                DownloadResult(
+                    requested=limit,
+                    delivered=delivered,
+                    lost=intervals,
+                    elapsed=self.clock.now - start_time,
+                    truncated_at=None,
+                    rounds=rounds,
+                    request_latency=latency,
+                ),
+                at=at,
+            )
+
+        if deadline_s is not None and latency > deadline_s:
+            # A congested queue can stretch the first-byte wait past the
+            # deadline (blackouts drain at the rate floor); the client
+            # gives up at the deadline with nothing transferred.
+            yield deadline_s
+            raise _fail("timeout")
+        yield latency
 
         while sent_new < limit or retx_queue > 0:
+            if plan is not None or deadline_s is not None:
+                now = self.clock.now
+                reset_at = (
+                    plan.reset_between(fault_from, now)
+                    if plan is not None else None
+                )
+                fault_from = now
+                if reset_at is not None:
+                    raise _fail("reset", at=reset_at)
+                if (
+                    deadline_s is not None
+                    and now - start_time >= deadline_s
+                ):
+                    raise _fail("timeout")
             cwnd_packets = max(int(self.cc.cwnd), 1)
             new_budget = limit - sent_new
             retx_packets = min(
@@ -175,6 +233,36 @@ class QuicConnection:
 
             outcome = self.link.offer_round(self.clock.now, burst)
             rounds += 1
+            if deadline_s is not None:
+                elapsed_now = self.clock.now - start_time
+                if elapsed_now + outcome.rtt > deadline_s:
+                    # The round outlives the deadline (e.g. a blackout
+                    # stretched it to minutes): the client stops waiting
+                    # at the deadline.  The wire still carried the burst
+                    # — the round event records it so link accounting
+                    # balances — but its bytes never reach the
+                    # application.
+                    remaining = max(deadline_s - elapsed_now, 0.0)
+                    if remaining > 0:
+                        yield remaining
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            ev.TRANSPORT_ROUND,
+                            round=rounds,
+                            rtt=outcome.rtt,
+                            offered=burst,
+                            dropped=outcome.dropped_packets,
+                            cwnd=float(self.cc.cwnd),
+                            inflight=burst,
+                        )
+                        if outcome.dropped_packets:
+                            self.tracer.emit(
+                                ev.PACKET_LOSS,
+                                dropped_packets=outcome.dropped_packets,
+                                lost_bytes=0,
+                                reliable=reliable,
+                            )
+                    raise _fail("timeout")
             yield outcome.rtt
 
             # Retransmissions ride at the front of the burst (they are
@@ -268,6 +356,16 @@ class QuicConnection:
             rounds=rounds,
             request_latency=latency,
         )
+
+    def reconnect(self) -> None:
+        """Re-establish the connection after a :class:`TransportFault`.
+
+        Congestion state restarts from scratch (a new connection has no
+        path history); the shared link and its queue are untouched, so
+        co-resident flows keep their state.
+        """
+        self.cc = CubicController()
+        self._last_active = None
 
     def idle(self, dt: float) -> None:
         """Account an application idle period (player buffer full)."""

@@ -29,6 +29,7 @@ from repro.transport.connection import (
     ProgressFn,
     QuicConnection,
 )
+from repro.transport.resilience import RetryContext, resilient_download_iter
 
 UNRELIABLE_HEADER = "x-voxel-unreliable"
 
@@ -128,6 +129,7 @@ class VoxelHttp:
         target_bytes: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
         force_reliable: bool = False,
+        retry: Optional[RetryContext] = None,
     ) -> SegmentDelivery:
         """Fetch a segment, VOXEL-style when both endpoints support it.
 
@@ -142,6 +144,9 @@ class VoxelHttp:
                 ABR truncate mid-flight.
             force_reliable: fetch everything over reliable streams even
                 if VOXEL is available (the "VOXEL rel" ablation of §D).
+            retry: per-segment resilience context (deadline, backoff,
+                shared retry budget); ``None`` keeps the legacy
+                fail-free path.
 
         Returns:
             The realized :class:`SegmentDelivery`.
@@ -152,6 +157,7 @@ class VoxelHttp:
                 target_bytes=target_bytes,
                 progress=progress,
                 force_reliable=force_reliable,
+                retry=retry,
             ),
             self.connection.clock,
             scheduler=getattr(self.connection, "scheduler", None),
@@ -163,14 +169,23 @@ class VoxelHttp:
         target_bytes: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
         force_reliable: bool = False,
+        retry: Optional[RetryContext] = None,
     ):
-        """Kernel process form of :meth:`fetch_segment` (same contract)."""
+        """Kernel process form of :meth:`fetch_segment` (same contract).
+
+        Both requests of a VOXEL fetch (reliable prefix + payload) share
+        the one ``retry`` context, so the segment's retry budget covers
+        the segment, not each request separately.
+        """
         if not self.voxel_capable:
-            result = yield from self._fetch_plain_iter(entry, progress)
+            result = yield from self._fetch_plain_iter(
+                entry, progress, retry=retry
+            )
             return result
 
-        reliable_result = yield from self.connection.download_iter(
-            entry.reliable_size, reliable=True
+        reliable_result = yield from resilient_download_iter(
+            self.connection, entry.reliable_size, reliable=True,
+            retry=retry,
         )
 
         payload_sizes = [end - start for start, end in entry.unreliable_ranges]
@@ -181,10 +196,12 @@ class VoxelHttp:
             payload_budget = max(min(target_bytes - entry.reliable_size,
                                      total_payload), 0)
 
-        unreliable_result = yield from self.connection.download_iter(
+        unreliable_result = yield from resilient_download_iter(
+            self.connection,
             payload_budget,
             reliable=force_reliable,
             progress=progress,
+            retry=retry,
         )
 
         requested = unreliable_result.requested
@@ -214,11 +231,15 @@ class VoxelHttp:
         )
 
     def _fetch_plain_iter(
-        self, entry: SegmentEntry, progress: Optional[ProgressFn]
+        self,
+        entry: SegmentEntry,
+        progress: Optional[ProgressFn],
+        retry: Optional[RetryContext] = None,
     ):
         """Kernel process form of :meth:`_fetch_plain`."""
-        result = yield from self.connection.download_iter(
-            entry.total_bytes, reliable=True, progress=progress
+        result = yield from resilient_download_iter(
+            self.connection, entry.total_bytes, reliable=True,
+            progress=progress, retry=retry,
         )
         # A truncated reliable fetch means the tail of the segment in
         # decode order is missing entirely (no headers either — but the

@@ -32,6 +32,7 @@ from repro.transport.base import (
     PAYLOAD_FRACTION,
     ProgressFn,
     REQUEST_RTT_COST,
+    TransportFault,
     merge_intervals,
 )
 from repro.transport.cubic import CubicController
@@ -85,6 +86,14 @@ class PacketLevelConnection:
         self._done_time = 0.0
         self._round = 0  # send-burst counter (reset per download)
         self._waiter: Optional[Waiter] = None  # wakes the download process
+        self._latency = 0.0
+
+        # Fault machinery.  ``_epoch`` tokens guard deadline/reset
+        # callbacks scheduled for a download against firing into a later
+        # one; ``_failed`` carries the fault across the waiter wake.
+        self.fault_plan = None
+        self._epoch = 0
+        self._failed: Optional[TransportFault] = None
 
         # Lifetime counters.
         self.total_delivered = 0
@@ -175,6 +184,18 @@ class PacketLevelConnection:
     def _loss_detected(self, sequence: int) -> None:
         offset = self._inflight.pop(sequence, None)
         if offset is None:
+            # Stale detection: the packet's download was killed by a
+            # fault after the router counted the drop.  Still surface a
+            # loss event so the shared-link conservation law (router
+            # drops == sum of packet_loss events) stays auditable.
+            if self.tracer.enabled:
+                self.tracer.emit_at(
+                    self.scheduler.now,
+                    ev.PACKET_LOSS,
+                    dropped_packets=1,
+                    lost_bytes=0,
+                    reliable=True,
+                )
             return
         size = self._bytes_at(offset)
         if self._reliable:
@@ -241,10 +262,42 @@ class PacketLevelConnection:
 
         # Request latency: one RTT.
         latency = (2 * self.router.propagation_s) * REQUEST_RTT_COST
+        self._latency = latency
         self._start_time = self.scheduler.now
         self.scheduler.schedule(latency, self._pump)
         self.scheduler.schedule(latency, self._check_done)
         return latency
+
+    def _fault_fired(self, epoch: int, kind: str, at: Optional[float]) -> None:
+        """Deadline/reset callback: kill the in-flight download.
+
+        The epoch token (and the ``_done`` flag) make stale callbacks —
+        fired after their download completed — harmless no-ops.
+        """
+        if epoch != self._epoch or self._done:
+            return
+        now = self.scheduler.now
+        self._failed = TransportFault(
+            kind,
+            DownloadResult(
+                requested=self._limit,
+                delivered=self._delivered_bytes,
+                lost=merge_intervals(self._lost),
+                elapsed=now - self._start_time,
+                truncated_at=None,
+                rounds=self._round,
+                request_latency=self._latency,
+            ),
+            at=at,
+        )
+        # Drop all in-flight tracking: router callbacks for packets still
+        # in the queue pop nothing and no-op.
+        self._inflight = {}
+        self._retx_queue = []
+        self._done = True
+        self._done_time = now
+        if self._waiter is not None:
+            self._waiter.wake()
 
     def download(
         self,
@@ -264,6 +317,7 @@ class PacketLevelConnection:
         nbytes: int,
         reliable: bool = True,
         progress: Optional[ProgressFn] = None,
+        deadline_s: Optional[float] = None,
     ):
         """Fetch ``nbytes`` as a kernel process.
 
@@ -272,6 +326,11 @@ class PacketLevelConnection:
         outstanding packet is accounted for — the driver (kernel or
         :func:`~repro.network.events.drive`) runs the event loop in the
         meantime, interleaving any other flows on the shared router.
+
+        With ``deadline_s`` set (or a fault plan attached), the waiter
+        can instead be woken by a deadline/reset callback, in which case
+        a :class:`~repro.transport.base.TransportFault` carrying the
+        partial byte accounting is raised.
         """
         if nbytes < 0:
             raise ValueError(f"cannot download {nbytes} bytes")
@@ -283,10 +342,30 @@ class PacketLevelConnection:
         requested_limit = nbytes
         latency = self._arm(nbytes, reliable, progress)
         start = self._start_time
+        self._epoch += 1
+        epoch = self._epoch
+        self._failed = None
+        if deadline_s is not None:
+            self.scheduler.schedule(
+                deadline_s,
+                lambda: self._fault_fired(epoch, "timeout", None),
+            )
+        if self.fault_plan is not None:
+            reset_at = self.fault_plan.reset_between(start, float("inf"))
+            if reset_at is not None:
+                self.scheduler.schedule(
+                    reset_at - start,
+                    lambda: self._fault_fired(epoch, "reset", reset_at),
+                )
         waiter = Waiter()
         self._waiter = waiter
         yield waiter
         self._waiter = None
+
+        if self._failed is not None:
+            fault = self._failed
+            self._failed = None
+            raise fault
 
         elapsed = self.scheduler.now - start
         lost = merge_intervals(self._lost)
@@ -299,6 +378,15 @@ class PacketLevelConnection:
             truncated_at=truncated,
             request_latency=latency,
         )
+
+    def reconnect(self) -> None:
+        """Re-establish the connection after a :class:`TransportFault`.
+
+        Fresh congestion state and loss-detection history; the shared
+        router (and other flows' packets in its queue) is untouched.
+        """
+        self.cc = CubicController()
+        self._last_loss_time = -1.0
 
     def idle(self, dt: float) -> None:
         """Advance event time while the application idles (blocking)."""

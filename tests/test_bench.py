@@ -26,6 +26,7 @@ def test_payload_schema(payload):
         "micro.decode_segment", "micro.abr_choose", "micro.transport_round",
         "macro.session.round", "macro.session.packet",
         "macro.multiclient", "macro.parallel_runner",
+        "macro.resilience",
     }
     for name, stats in payload["benchmarks"].items():
         assert stats["wall_s"] > 0, name
@@ -60,6 +61,15 @@ def test_multiclient_stats(payload):
     assert 0.0 < stats["jain_index"] <= 1.0
     assert stats["events"] > 0
     assert stats["sim_s"] > 0
+
+
+def test_resilience_stats(payload):
+    stats = payload["benchmarks"]["macro.resilience"]
+    assert stats["kind"] == "macro"
+    assert stats["audit_ok"] is True
+    assert stats["faults_injected"] > 0
+    assert stats["segments"] == 6
+    assert stats["events"] > 0
 
 
 def test_parallel_runner_stats(payload):
@@ -140,6 +150,17 @@ def test_compare_new_benchmark_is_informational(payload):
     assert not comparison.failed
     assert any(r.status == "new" for r in comparison.rows)
     assert "NEW" in regression.format_comparison(comparison)
+
+
+def test_compare_broken_audit_fails_regardless_of_speed(payload):
+    current = copy.deepcopy(payload)
+    current["benchmarks"]["macro.resilience"]["audit_ok"] = False
+    # Even faster-than-baseline, a broken invariant audit gates.
+    current["benchmarks"]["macro.resilience"]["wall_s"] *= 0.5
+    comparison = regression.compare_payloads(payload, current)
+    assert comparison.failed
+    assert [r.name for r in comparison.broken] == ["macro.resilience"]
+    assert "AUDIT-FAIL" in regression.format_comparison(comparison)
 
 
 def test_load_payload_rejects_bad_schema(tmp_path):

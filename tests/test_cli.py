@@ -37,6 +37,8 @@ class TestCommands:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "bbb" in out and "abr_star" in out and "tmobile" in out
+        assert "blackout" in out and "server_stall" in out
+        assert "outage_level" in out
 
     def test_list_json(self, capsys):
         assert main(["--json", "list"]) == 0
@@ -69,6 +71,56 @@ class TestCommands:
             "--bandwidth-safety", "0.9",
         ])
         assert code == 0
+
+    def test_stream_with_faults_prints_resilience_block(self, capsys):
+        code = main([
+            "stream", "bbb", "--trace", "constant:10.5", "--buffer", "2",
+            "--faults",
+            '{"events": [{"kind": "reset", "at": 6.0}]}',
+            "--timeout", "3", "--check-invariants",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "retries" in captured.out
+        assert "degraded segs" in captured.out
+        assert "10 invariants checked" in captured.err
+
+    def test_stream_without_faults_has_no_resilience_block(self, capsys):
+        assert main(["stream", "bbb", "--trace", "constant:10.5"]) == 0
+        assert "retries" not in capsys.readouterr().out
+
+    def test_stream_bad_fault_spec_exits_2(self, capsys):
+        code = main([
+            "stream", "bbb", "--trace", "constant:10.5",
+            "--faults", "{not json",
+        ])
+        assert code == 2
+        assert "fault spec" in capsys.readouterr().err
+        code = main([
+            "stream", "bbb", "--trace", "constant:10.5",
+            "--faults", '{"events": [{"kind": "quake"}]}',
+        ])
+        assert code == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_faults_list_profiles(self, capsys):
+        assert main(["faults", "--list-profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "mixed" in out and "blackouts" in out
+
+    def test_faults_chaos_cell(self, capsys):
+        code = main([
+            "faults", "--profiles", "resets", "--seeds", "0",
+            "--trace", "constant:10.5", "--check-invariants",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 cells, 1 audits clean" in out
+
+    def test_faults_unknown_profile_exits_2(self, capsys):
+        code = main(["faults", "--profiles", "nope", "--seeds", "0"])
+        assert code == 2
+        assert "unknown chaos profile" in capsys.readouterr().err
 
     def test_prepare(self, capsys):
         assert main(["prepare", "bbb"]) == 0

@@ -253,12 +253,91 @@ class TestCorruptedTraces:
 
 
 # ---------------------------------------------------------------------------
+# Retry accounting: failures must resolve, bytes must be conserved.
+# ---------------------------------------------------------------------------
+class TestRetryAccounting:
+    def _timeout(self, seq, t, segment=0, accounted=1000, delivered=1000):
+        return _event(
+            seq, t, ev.REQUEST_TIMEOUT, segment=segment, attempt=0,
+            elapsed=2.0, accounted_bytes=accounted,
+            delivered_bytes=delivered,
+        )
+
+    def test_unresolved_failure_flagged_at_end(self):
+        report = audit_events([_session_start(), self._timeout(1, 2.0)])
+        assert _names(report) == ["retry_accounting"]
+        assert "never resolved" in report.violations[0].message
+
+    def test_retry_resolves_failure(self):
+        events = [
+            _session_start(),
+            self._timeout(1, 2.0),
+            _event(2, 2.5, ev.RETRY, segment=0, attempt=1,
+                   backoff_s=0.5, resume_bytes=1000,
+                   remaining_bytes=4000),
+        ]
+        assert audit_events(events).ok
+
+    def test_resume_mismatch_refetches_bytes(self):
+        events = [
+            _session_start(),
+            self._timeout(1, 2.0, accounted=1000),
+            _event(2, 2.5, ev.RETRY, segment=0, attempt=1,
+                   backoff_s=0.5, resume_bytes=400,
+                   remaining_bytes=4000),
+        ]
+        report = audit_events(events)
+        assert _names(report) == ["retry_accounting"]
+        assert "re-fetched" in report.violations[0].message
+
+    def test_accounted_fewer_than_delivered(self):
+        events = [
+            _session_start(),
+            self._timeout(1, 2.0, accounted=500, delivered=1000),
+            _event(2, 2.5, ev.RETRY, segment=0, attempt=1,
+                   backoff_s=0.5, resume_bytes=500,
+                   remaining_bytes=4000),
+        ]
+        report = audit_events(events)
+        assert "retry_accounting" in _names(report)
+
+    def test_retry_without_failure_flagged(self):
+        events = [
+            _session_start(),
+            _event(1, 2.0, ev.RETRY, segment=0, attempt=1,
+                   backoff_s=0.5, resume_bytes=0, remaining_bytes=4000),
+        ]
+        report = audit_events(events)
+        assert _names(report) == ["retry_accounting"]
+
+    def test_degradation_resolves_failure(self):
+        events = [
+            _session_start(),
+            self._timeout(1, 2.0),
+            _event(2, 2.5, ev.DEGRADED, segment=0, mode="floor",
+                   attempts=3, wasted_bytes=1000, to_quality=0),
+        ]
+        assert audit_events(events).ok
+
+    def test_degraded_unknown_mode_flagged(self):
+        events = [
+            _session_start(),
+            self._timeout(1, 2.0),
+            _event(2, 2.5, ev.DEGRADED, segment=0, mode="panic",
+                   attempts=3, wasted_bytes=1000),
+        ]
+        report = audit_events(events)
+        assert "retry_accounting" in _names(report)
+
+
+# ---------------------------------------------------------------------------
 # Reporting surface.
 # ---------------------------------------------------------------------------
 class TestReporting:
-    def test_catalog_covers_nine_invariants(self):
-        assert len(INVARIANTS) == 9
+    def test_catalog_covers_ten_invariants(self):
+        assert len(INVARIANTS) == 10
         assert "shared_link_conservation" in INVARIANTS
+        assert "retry_accounting" in INVARIANTS
 
     def test_violation_string_pins_event(self):
         events = [
@@ -274,7 +353,7 @@ class TestReporting:
     def test_clean_report_format(self):
         report = audit_events([_session_start()])
         assert format_report(report) == (
-            "ok: 1 events, 9 invariants checked, 0 violations"
+            "ok: 1 events, 10 invariants checked, 0 violations"
         )
 
     def test_incremental_feed_matches_batch(self):
