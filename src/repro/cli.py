@@ -8,6 +8,9 @@
     python -m repro stream bbb --trace-out trace.jsonl   # + session trace
     python -m repro trace trace.jsonl         # inspect a recorded trace
     python -m repro trace trace.jsonl --check # audit trace invariants
+    python -m repro report trace.jsonl --out report.md   # markdown report
+    python -m repro faults --rollup --out chaos.jsonl
+    python -m repro report chaos.jsonl --check           # fleet report
     python -m repro bench --quick             # benchmark suite
     python -m repro bench --compare BENCH_main.json --threshold 10
     python -m repro compare bbb --trace tmobile --buffer 1
@@ -38,11 +41,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
     from repro.faults import FAULTS
     from repro.network.linkmodels import LINK_MODELS
     from repro.network.traces import TRACES
+    from repro.obs import CAUSE_DESCRIPTIONS
     from repro.transport.backends import BACKENDS
 
     # Every component registry, with the one-line descriptions captured
     # at the registration sites — the catalog can never drift from what
-    # the StackBuilder accepts.
+    # the StackBuilder accepts.  Stall causes come from the attribution
+    # engine's own catalog for the same reason.
     data = {
         "videos": available_videos(),
         "abrs": ABRS.describe(),
@@ -50,12 +55,14 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "backends": BACKENDS.describe(),
         "link_models": LINK_MODELS.describe(),
         "faults": FAULTS.describe(),
+        "stall_causes": dict(CAUSE_DESCRIPTIONS),
     }
     if args.json:
         print(json.dumps(data, indent=2))
         return 0
     print(f"videos: {', '.join(data['videos'])}")
-    for kind in ("abrs", "traces", "backends", "link_models", "faults"):
+    for kind in ("abrs", "traces", "backends", "link_models", "faults",
+                 "stall_causes"):
         print(f"{kind}:")
         for name, description in data[kind].items():
             print(f"  {name:14s} {description}")
@@ -216,54 +223,69 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import SchemaError, iter_trace_events
     from repro.obs import inspect as trace_inspect
 
-    from repro.obs import SchemaError
-
+    # Every mode below streams the file through one pass — O(1) memory
+    # in trace length (only --type --json buffers, and only the printed
+    # subset).  Malformed lines surface as SchemaError mid-stream with
+    # their line number.
     try:
-        events = trace_inspect.load_trace(args.file)
+        if args.check:
+            from repro.obs import audit_stream, format_report
+
+            report = audit_stream(iter_trace_events(args.file))
+            if args.json:
+                print(json.dumps({
+                    "events": report.events,
+                    "ok": report.ok,
+                    "violations": [
+                        {
+                            "invariant": v.invariant,
+                            "index": v.index,
+                            "seq": v.seq,
+                            "t": v.t,
+                            "message": v.message,
+                        }
+                        for v in report.violations
+                    ],
+                }, indent=2))
+            else:
+                print(format_report(report))
+            return 0 if report.ok else 1
+        if args.type is not None:
+            matched = 0
+            buffered = []
+            for event in iter_trace_events(args.file):
+                if event.type != args.type:
+                    continue
+                matched += 1
+                if args.limit > 0 and matched > args.limit:
+                    continue
+                if args.json:
+                    buffered.append(json.loads(event.to_json()))
+                else:
+                    print(event.to_json())
+            if args.json:
+                print(json.dumps(buffered, indent=2))
+            elif args.limit > 0 and matched > args.limit:
+                print(f"... {matched - args.limit} more", file=sys.stderr)
+            return 0
+        summary_builder = trace_inspect.SummaryBuilder()
+        timeline_builder = (
+            trace_inspect.TimelineBuilder() if args.timeline else None
+        )
+        for event in iter_trace_events(args.file):
+            summary_builder.feed(event)
+            if timeline_builder is not None:
+                timeline_builder.feed(event)
+        summary = summary_builder.result()
     except (OSError, SchemaError) as exc:
         print(f"error: cannot read trace {args.file!r}: {exc}",
               file=sys.stderr)
         return 2
-    if args.check:
-        from repro.obs import audit_events, format_report
-
-        report = audit_events(events)
-        if args.json:
-            print(json.dumps({
-                "events": report.events,
-                "ok": report.ok,
-                "violations": [
-                    {
-                        "invariant": v.invariant,
-                        "index": v.index,
-                        "seq": v.seq,
-                        "t": v.t,
-                        "message": v.message,
-                    }
-                    for v in report.violations
-                ],
-            }, indent=2))
-        else:
-            print(format_report(report))
-        return 0 if report.ok else 1
-    if args.type is not None:
-        selected = trace_inspect.filter_events(events, args.type)
-        limited = selected[: args.limit] if args.limit > 0 else selected
-        if args.json:
-            print(json.dumps([json.loads(e.to_json()) for e in limited],
-                             indent=2))
-        else:
-            for event in limited:
-                print(event.to_json())
-            if len(selected) > len(limited):
-                print(f"... {len(selected) - len(limited)} more",
-                      file=sys.stderr)
-        return 0
-    summary = trace_inspect.summarize(events)
-    if args.timeline:
-        rows = trace_inspect.timeline(events)
+    if timeline_builder is not None:
+        rows = timeline_builder.rows()
         if args.json:
             print(json.dumps({"summary": summary, "timeline": rows},
                              indent=2))
@@ -275,6 +297,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(json.dumps(summary, indent=2))
         return 0
     print(trace_inspect.format_summary(summary))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import SchemaError, build_report, render_markdown
+    from repro.obs.report import report_to_json
+
+    try:
+        report = build_report(
+            args.file,
+            sample_rate=args.sample,
+            sample_seed=args.sample_seed,
+        )
+    except (OSError, SchemaError) as exc:
+        print(f"error: cannot read report input {args.file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    markdown = render_markdown(report)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(markdown)
+        except OSError as exc:
+            print(f"error: cannot write {args.out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json_out:
+        try:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                handle.write(report_to_json(report))
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.json_out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.json:
+        print(report_to_json(report))
+    elif not args.out:
+        print(markdown, end="")
+    if args.check and not report["audit"]["ok"]:
+        return 1
     return 0
 
 
@@ -384,6 +449,16 @@ def _cmd_multiclient(args: argparse.Namespace) -> int:
         if args.check_invariants:
             auditor = MultiSessionAuditor()
             tracer.add_observer(auditor.feed)
+    rollup = fleet = None
+    observers = None
+    if args.rollup:
+        from repro.obs import FleetAttributor, TraceRollup
+
+        rollup = TraceRollup(
+            sample_rate=args.sample, sample_seed=args.sample_seed
+        )
+        fleet = FleetAttributor()
+        observers = [rollup.feed, fleet.feed]
 
     result = run_multiclient(
         specs,
@@ -392,6 +467,7 @@ def _cmd_multiclient(args: argparse.Namespace) -> int:
         queue_packets=args.queue,
         backend=args.backend,
         tracer=tracer,
+        observers=observers,
     )
 
     if trace_sink is not None:
@@ -410,6 +486,9 @@ def _cmd_multiclient(args: argparse.Namespace) -> int:
     rows = result.rows()
     if args.json:
         payload = {"jain_index": result.jain_index, "clients": rows}
+        if rollup is not None:
+            payload["rollup"] = rollup.summary()
+            payload["attribution"] = fleet.combined().to_dict()
         if getattr(args, "metrics", False):
             from repro.obs import get_registry
 
@@ -427,6 +506,11 @@ def _cmd_multiclient(args: argparse.Namespace) -> int:
             f"{row['total_stall_s']:8.2f} {row['throughput_mbps']:6.2f}"
         )
     print(f"Jain's fairness index: {result.jain_index:.4f}")
+    if rollup is not None:
+        from repro.obs import format_attribution, format_rollup
+
+        print(format_rollup(rollup.summary()))
+        print(format_attribution(fleet.combined()))
     _maybe_print_metrics(args)
     return 1 if audit_failed else 0
 
@@ -506,12 +590,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         bench.write_payload(payload, out_path)
         print(f"wrote {out_path}", file=sys.stderr)
 
-    if args.json:
-        print(json.dumps(payload, indent=2, sort_keys=True))
-    else:
-        print(bench.format_suite(payload))
-
     if args.compare is None:
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(bench.format_suite(payload))
         return 0
     try:
         baseline = regression.load_payload(args.compare)
@@ -522,7 +605,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     comparison = regression.compare_payloads(
         baseline, payload, threshold_pct=args.threshold
     )
-    print(regression.format_comparison(comparison))
+    if args.json:
+        # One machine-readable object: the suite payload plus the
+        # verdict (per-row deltas and statuses) — what CI consumes.
+        print(json.dumps(
+            {"payload": payload, "comparison": comparison.to_dict()},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(bench.format_suite(payload))
+        print(regression.format_comparison(comparison))
     return 1 if comparison.failed else 0
 
 
@@ -592,7 +684,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.dry_run:
             rows = dry_run_rows(sweep)
         else:
-            rows = run_sweep(sweep, workers=args.workers)
+            rows = run_sweep(
+                sweep, workers=args.workers, rollup=args.rollup,
+                sample_rate=args.sample, sample_seed=args.sample_seed,
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -654,7 +749,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     try:
         rows = run_chaos(
             profiles=profiles, seeds=seeds, base=base,
-            workers=args.workers,
+            workers=args.workers, rollup=args.rollup,
+            sample_rate=args.sample, sample_seed=args.sample_seed,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -710,6 +806,24 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     )
     _maybe_print_metrics(args)
     return 0
+
+
+def _add_rollup_flags(parser: argparse.ArgumentParser) -> None:
+    """Streaming-rollup flags shared by multiclient/sweep/faults."""
+    parser.add_argument(
+        "--rollup", action="store_true",
+        help="attach a streaming fleet rollup + causal stall attributor "
+        "(memory-bounded; no per-event history)",
+    )
+    parser.add_argument(
+        "--sample", type=float, default=1.0, metavar="RATE",
+        help="per-session head-sampling rate for the rollup "
+        "(default 1.0 = every session; deterministic per session id)",
+    )
+    parser.add_argument(
+        "--sample-seed", type=int, default=0,
+        help="seed of the session-sampling hash (default 0)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -786,6 +900,36 @@ def build_parser() -> argparse.ArgumentParser:
         "exit 1 on any violation",
     )
 
+    p_report = sub.add_parser(
+        "report",
+        help="render a trace file or sweep/chaos JSONL as a "
+        "deterministic markdown + JSON report",
+    )
+    p_report.add_argument(
+        "file",
+        help="input: a --trace-out JSONL trace, or sweep/faults --out rows",
+    )
+    p_report.add_argument("--out", default=None, metavar="MD",
+                          help="write the markdown report to this file")
+    p_report.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the JSON report object to this file",
+    )
+    p_report.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the report's invariant audit (attribution "
+        "partition included) fails",
+    )
+    p_report.add_argument(
+        "--sample", type=float, default=1.0, metavar="RATE",
+        help="per-session head-sampling rate for trace inputs "
+        "(default 1.0 = every session)",
+    )
+    p_report.add_argument(
+        "--sample-seed", type=int, default=0,
+        help="seed of the session-sampling hash (default 0)",
+    )
+
     p_bench = sub.add_parser(
         "bench", help="run the benchmark suite / compare against a baseline"
     )
@@ -854,6 +998,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_mc.add_argument("--metrics", action="store_true",
                       help="print the metrics registry after the run")
+    _add_rollup_flags(p_mc)
 
     p_figure = sub.add_parser(
         "figure", help="regenerate a paper table/figure"
@@ -911,6 +1056,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate an existing sweep JSONL against the row schema "
         "(spec hash round-trip included); exit 1 on violation",
     )
+    _add_rollup_flags(p_sweep)
 
     p_faults = sub.add_parser(
         "faults",
@@ -953,6 +1099,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_faults.add_argument("--metrics", action="store_true",
                           help="print the metrics registry after the run")
+    _add_rollup_flags(p_faults)
 
     p_survey = sub.add_parser("survey", help="run the simulated user study")
     p_survey.add_argument("--clips", type=int, default=8)
@@ -976,6 +1123,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
     "faults": _cmd_faults,
+    "report": _cmd_report,
 }
 
 

@@ -26,8 +26,10 @@ from repro.core.build import StackBuilder
 from repro.core.spec import ScenarioSpec
 from repro.experiments.runner import _fork_map
 from repro.faults import FAULTS
+from repro.obs.attribution import FleetAttributor
 from repro.obs.invariants import TraceAuditor
 from repro.obs.metrics import scoped_registry
+from repro.obs.rollup import TraceRollup
 from repro.obs.tracer import Tracer
 from repro.prep.prepare import PreparedVideo, get_prepared
 
@@ -107,6 +109,10 @@ def chaos_cells(
 #: sweep engine's module-global: inherited via the fork memory snapshot).
 _CHAOS_PREPARED_MAP: Optional[Dict[str, PreparedVideo]] = None
 
+#: ``(sample_rate, sample_seed)`` when chaos cells collect streaming
+#: rollups (same fork-inheritance contract as the prepared map).
+_CHAOS_ROLLUP: Optional[Tuple[float, int]] = None
+
 
 def _chaos_worker(item: Tuple[str, ScenarioSpec]) -> Dict:
     """Run one chaos cell: stream with the inline auditor attached."""
@@ -115,14 +121,21 @@ def _chaos_worker(item: Tuple[str, ScenarioSpec]) -> Dict:
     if _CHAOS_PREPARED_MAP is not None:
         prepared = _CHAOS_PREPARED_MAP.get(spec.video)
     auditor = TraceAuditor()
-    tracer = Tracer(observers=[auditor.feed])
+    observers = [auditor.feed]
+    rollup = fleet = None
+    if _CHAOS_ROLLUP is not None:
+        rate, sample_seed = _CHAOS_ROLLUP
+        rollup = TraceRollup(sample_rate=rate, sample_seed=sample_seed)
+        fleet = FleetAttributor()
+        observers += [rollup.feed, fleet.feed]
+    tracer = Tracer(observers=observers)
     with scoped_registry(merge=False):
         from repro.core.api import stream_spec
 
         result = stream_spec(spec, prepared=prepared, tracer=tracer)
     report = auditor.finalize()
     summary = result.metrics.summary()
-    return {
+    row = {
         "spec_hash": spec.spec_hash(),
         "label": spec.label(),
         "profile": profile,
@@ -135,6 +148,10 @@ def _chaos_worker(item: Tuple[str, ScenarioSpec]) -> Dict:
             "violations": [str(v) for v in report.violations],
         },
     }
+    if rollup is not None:
+        row["rollup"] = rollup.to_dict()
+        row["attribution"] = fleet.combined().to_dict()
+    return row
 
 
 def run_chaos(
@@ -143,6 +160,9 @@ def run_chaos(
     base: Optional[Dict] = None,
     workers: int = 1,
     prepared_map: Optional[Dict[str, PreparedVideo]] = None,
+    rollup: bool = False,
+    sample_rate: float = 1.0,
+    sample_seed: int = 0,
 ) -> List[Dict]:
     """Execute a chaos sweep; one audited result row per cell.
 
@@ -157,6 +177,11 @@ def run_chaos(
             expansion order, so any worker count is byte-identical.
         prepared_map: ``video name -> PreparedVideo`` overriding the
             catalog (fixtures, benchmarks).
+        rollup: attach a streaming rollup + causal attributor per cell;
+            rows gain ``rollup`` and ``attribution`` keys (the default
+            row content stays byte-identical).
+        sample_rate: per-session head-sampling rate for the rollups.
+        sample_seed: seed of the sampling hash.
 
     Returns:
         One row per cell with the spec, its summary (including the
@@ -170,8 +195,11 @@ def run_chaos(
     for video in dict.fromkeys(spec.video for _, spec in cells):
         if prepared_map is None or video not in prepared_map:
             get_prepared(video)
-    global _CHAOS_PREPARED_MAP
+    global _CHAOS_PREPARED_MAP, _CHAOS_ROLLUP
     _CHAOS_PREPARED_MAP = prepared_map
+    _CHAOS_ROLLUP = (
+        (float(sample_rate), int(sample_seed)) if rollup else None
+    )
     try:
         if workers <= 1 or len(cells) <= 1:
             rows = [_chaos_worker(cell) for cell in cells]
@@ -179,6 +207,7 @@ def run_chaos(
             rows = _fork_map(_chaos_worker, cells, workers)
     finally:
         _CHAOS_PREPARED_MAP = None
+        _CHAOS_ROLLUP = None
     return rows
 
 

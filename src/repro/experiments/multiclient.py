@@ -128,6 +128,7 @@ def run_multiclient(
     request_timeout_s: Optional[float] = None,
     retry_budget: int = 3,
     retry_backoff_s: float = 0.5,
+    observers: Optional[Sequence] = None,
 ) -> MulticlientResult:
     """Run N concurrent streaming sessions on one shared bottleneck.
 
@@ -151,12 +152,24 @@ def run_multiclient(
         request_timeout_s / retry_budget / retry_backoff_s: every
             client's resilience policy (see
             :class:`~repro.player.session.SessionConfig`).
+        observers: trace-event callbacks (fleet rollups, attributors,
+            auditors).  Attached to ``tracer`` when one is given;
+            otherwise a buffer-less
+            :class:`~repro.obs.tracer.StreamingTracer` is created, so
+            fleet aggregation never retains per-event history.
 
     Returns:
         Per-client metrics plus Jain's fairness index.
     """
     if not specs:
         raise ValueError("a multi-client run needs at least one client")
+    if observers:
+        if tracer is None:
+            from repro.obs.tracer import StreamingTracer
+
+            tracer = StreamingTracer()
+        for observer in observers:
+            tracer.add_observer(observer)
     if isinstance(trace, str):
         trace_name = trace
         trace = get_trace(trace, seed=seed)

@@ -31,7 +31,7 @@ from repro.core.spec import ScenarioSpec, reliability_mode
 from repro.network.traces import NetworkTrace, get_trace
 from repro.obs.metrics import MetricsRegistry, get_registry, scoped_registry
 from repro.obs.profiling import timed
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import StreamingTracer, Tracer
 from repro.player.metrics import SessionMetrics, percentile_across, stderr_across
 from repro.prep.prepare import PreparedVideo, get_prepared
 
@@ -190,14 +190,23 @@ def _rep_session(
     prepared: PreparedVideo,
     trace: NetworkTrace,
     collect_trace: bool,
+    observers: Optional[Sequence] = None,
 ) -> Tuple[SessionMetrics, MetricsRegistry, Optional[str]]:
     """Run one repetition in its own metrics scope.
 
     Returns the session metrics, the repetition's registry (for the
     parent to merge in repetition order — the key to serial/parallel
-    metric identity), and the JSONL trace if requested.
+    metric identity), and the JSONL trace if requested.  ``observers``
+    see every trace event; without ``collect_trace`` they are served by
+    a buffer-less :class:`StreamingTracer`, so fleet rollups cost no
+    per-event history.
     """
-    tracer = Tracer() if collect_trace else None
+    if collect_trace:
+        tracer = Tracer(observers=observers)
+    elif observers:
+        tracer = StreamingTracer(observers=observers)
+    else:
+        tracer = None
     with scoped_registry(merge=False) as registry:
         metrics = run_single(
             config, shift_s=shift_s, prepared=prepared, trace=trace,
@@ -246,6 +255,7 @@ def run_trials(
     prepared: Optional[PreparedVideo] = None,
     workers: int = 1,
     collect_traces: bool = False,
+    observers: Optional[Sequence] = None,
 ) -> TrialSummary:
     """Run all repetitions with per-repetition trace shifting.
 
@@ -259,8 +269,17 @@ def run_trials(
             results are folded in repetition order.
         collect_traces: record a JSONL trace per repetition on the
             summary's ``traces``.
+        observers: trace-event callbacks attached to every repetition's
+            tracer (streaming rollups, attributors).  In-process
+            callables cannot cross a fork boundary, so observers require
+            ``workers=1`` — which is how the sweep engine runs cells.
     """
     global _PARALLEL_PREPARED
+    if observers and workers > 1:
+        raise ValueError(
+            "trace observers require workers=1 (observer state lives "
+            "in this process; forked repetitions cannot feed it)"
+        )
     if prepared is None:
         prepared = get_prepared(config.video)
     trace = _resolve_trace(config)
@@ -274,7 +293,8 @@ def run_trials(
     with scoped_registry() as registry:
         if workers <= 1:
             outcomes = [
-                _rep_session(config, shift, prepared, trace, collect_traces)
+                _rep_session(config, shift, prepared, trace,
+                             collect_traces, observers)
                 for shift in shifts
             ]
         else:

@@ -29,16 +29,21 @@ from __future__ import annotations
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.build import StackBuilder
 from repro.core.spec import ScenarioSpec
 from repro.experiments.runner import TrialSummary, _fork_map, run_trials
+from repro.obs.attribution import FleetAttributor
 from repro.obs.metrics import scoped_registry
+from repro.obs.rollup import TraceRollup
 from repro.prep.prepare import PreparedVideo, get_prepared
 
-#: Keys of one result row (``summary`` is absent in --dry-run rows).
-ROW_KEYS = ("spec_hash", "label", "spec", "summary")
+#: Keys a result row may carry.  ``summary`` is absent in --dry-run
+#: rows; ``rollup`` and ``attribution`` appear only when the sweep ran
+#: with streaming rollups enabled (``run_sweep(rollup=True)``).
+ROW_KEYS = ("spec_hash", "label", "spec", "summary", "rollup",
+            "attribution")
 
 #: Keys every row's ``summary`` object carries (superset allowed).
 SUMMARY_KEYS = (
@@ -129,6 +134,12 @@ class SweepSpec:
 #: re-prepared by name in a child process.
 _SWEEP_PREPARED_MAP: Optional[Dict[str, PreparedVideo]] = None
 
+#: ``(sample_rate, sample_seed)`` when the sweep collects streaming
+#: rollups; inherited by fork()ed workers like the prepared map.  The
+#: sampling decision is a pure hash of the session identity, so any
+#: worker partitioning rolls up the same sessions.
+_SWEEP_ROLLUP: Optional[Tuple[float, int]] = None
+
 
 def _scenario_row(spec: ScenarioSpec, summary: TrialSummary) -> Dict:
     """One JSONL result row, keyed by the spec's content hash."""
@@ -153,15 +164,30 @@ def _sweep_worker(spec: ScenarioSpec) -> Dict:
     prepared = None
     if _SWEEP_PREPARED_MAP is not None:
         prepared = _SWEEP_PREPARED_MAP.get(spec.video)
+    rollup = fleet = observers = None
+    if _SWEEP_ROLLUP is not None:
+        rate, seed = _SWEEP_ROLLUP
+        rollup = TraceRollup(sample_rate=rate, sample_seed=seed)
+        fleet = FleetAttributor()
+        observers = [rollup.feed, fleet.feed]
     with scoped_registry(merge=False):
-        summary = run_trials(spec, prepared=prepared, workers=1)
-    return _scenario_row(spec, summary)
+        summary = run_trials(
+            spec, prepared=prepared, workers=1, observers=observers
+        )
+    row = _scenario_row(spec, summary)
+    if rollup is not None:
+        row["rollup"] = rollup.to_dict()
+        row["attribution"] = fleet.combined().to_dict()
+    return row
 
 
 def run_sweep(
     sweep: Union[SweepSpec, Sequence[ScenarioSpec]],
     workers: int = 1,
     prepared_map: Optional[Dict[str, PreparedVideo]] = None,
+    rollup: bool = False,
+    sample_rate: float = 1.0,
+    sample_seed: int = 0,
 ) -> List[Dict]:
     """Execute every cell of a sweep; one result row per scenario.
 
@@ -173,6 +199,13 @@ def run_sweep(
             results are folded in expansion order).
         prepared_map: ``video name -> PreparedVideo`` overriding the
             catalog (fixtures, benchmarks).
+        rollup: attach a streaming :class:`TraceRollup` and causal
+            attributor to every cell; rows gain serialized ``rollup``
+            and ``attribution`` keys (``summary`` stays byte-identical
+            to a plain run).
+        sample_rate: per-session head-sampling rate for the rollups
+            (hash-keyed, so the sampled set is worker-count invariant).
+        sample_seed: seed of the sampling hash.
 
     Returns:
         One row per scenario, in expansion order, each keyed by the
@@ -186,8 +219,11 @@ def run_sweep(
     for video in dict.fromkeys(spec.video for spec in specs):
         if prepared_map is None or video not in prepared_map:
             get_prepared(video)
-    global _SWEEP_PREPARED_MAP
+    global _SWEEP_PREPARED_MAP, _SWEEP_ROLLUP
     _SWEEP_PREPARED_MAP = prepared_map
+    _SWEEP_ROLLUP = (
+        (float(sample_rate), int(sample_seed)) if rollup else None
+    )
     try:
         if workers <= 1 or len(specs) <= 1:
             rows = [_sweep_worker(spec) for spec in specs]
@@ -195,6 +231,7 @@ def run_sweep(
             rows = _fork_map(_sweep_worker, specs, workers)
     finally:
         _SWEEP_PREPARED_MAP = None
+        _SWEEP_ROLLUP = None
     return rows
 
 

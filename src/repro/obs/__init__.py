@@ -16,6 +16,15 @@ Usage::
     tracer.write_jsonl("trace.jsonl")
 """
 
+from repro.obs.attribution import (
+    CAUSE_DESCRIPTIONS,
+    CAUSES,
+    AttributionResult,
+    FleetAttributor,
+    SessionAttributor,
+    attribute_events,
+    format_attribution,
+)
 from repro.obs.events import (
     EVENT_FIELDS,
     EVENT_TYPES,
@@ -31,6 +40,7 @@ from repro.obs.invariants import (
     TraceAuditor,
     Violation,
     audit_events,
+    audit_stream,
     format_report,
 )
 from repro.obs.metrics import (
@@ -48,15 +58,36 @@ from repro.obs.profiling import (
     timed,
     timing_summary,
 )
+from repro.obs.report import (
+    build_report,
+    render_markdown,
+    report_to_json,
+)
+from repro.obs.rollup import (
+    TraceRollup,
+    format_rollup,
+    iter_trace_events,
+    merge_rollups,
+    session_sample_key,
+    session_sampled,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
     SessionTracer,
+    StreamingTracer,
     Tracer,
     read_jsonl,
 )
 
 __all__ = [
+    "CAUSE_DESCRIPTIONS",
+    "CAUSES",
+    "AttributionResult",
+    "FleetAttributor",
+    "SessionAttributor",
+    "attribute_events",
+    "format_attribution",
     "EVENT_FIELDS",
     "EVENT_TYPES",
     "OPTIONAL_FIELDS",
@@ -69,6 +100,7 @@ __all__ = [
     "TraceAuditor",
     "Violation",
     "audit_events",
+    "audit_stream",
     "format_report",
     "Counter",
     "Gauge",
@@ -81,9 +113,19 @@ __all__ = [
     "profiling_enabled",
     "timed",
     "timing_summary",
+    "build_report",
+    "render_markdown",
+    "report_to_json",
+    "TraceRollup",
+    "format_rollup",
+    "iter_trace_events",
+    "merge_rollups",
+    "session_sample_key",
+    "session_sampled",
     "NULL_TRACER",
     "NullTracer",
     "SessionTracer",
+    "StreamingTracer",
     "Tracer",
     "read_jsonl",
 ]

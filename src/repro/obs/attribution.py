@@ -1,0 +1,433 @@
+"""Causal stall attribution: every bad second gets exactly one cause.
+
+VOXEL's claim is cross-layer — stalls and quality drops are explained
+jointly by transport, link, and ABR behaviour.  This engine walks a
+session's event stream and partitions every stall second and every
+quality-level drop into exactly one of :data:`CAUSES`:
+
+* ``fault`` — the stall interval overlaps an injected fault window
+  (blackout, server stall, reset point, …).
+* ``retry`` — the segment burned time in timeout/reset retry chains
+  (backoff plus re-requests).
+* ``degraded`` — the retry budget ran out and the session degraded the
+  segment (floor quality or skip).
+* ``bandwidth`` — the ABR's choice was feasible at its decision-time
+  estimate, but the realized trace delivered less.
+* ``abr_overreach`` — the choice could not have finished within the
+  buffer even at the ABR's own throughput estimate, or an ABR-commanded
+  wait drained the buffer dry.
+
+Precedence is fault > retry > degraded > bandwidth > abr_overreach —
+injected faults own everything they overlap, explicit resilience
+machinery owns its segments, and only then is blame split between the
+network and the controller.
+
+The partition law — per-cause stall seconds sum exactly to the
+session's ``total_stall`` and stall events partition likewise — is
+enforced as the 11th trace invariant (see ``repro.obs.invariants``).
+
+The module is stream-first: :class:`SessionAttributor.feed` is a tracer
+observer, :class:`FleetAttributor` partitions an interleaved
+multi-client stream by ``session_id``, and memory stays bounded by
+segment count, never event count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs import events as ev
+from repro.obs.events import TraceEvent
+
+#: Float comparison slack for the partition law (mirrors the auditor's
+#: tolerance; duplicated here so attribution has no import cycle with
+#: ``repro.obs.invariants``, which imports this module).
+TOLERANCE = 1e-6
+
+CAUSE_FAULT = "fault"
+CAUSE_RETRY = "retry"
+CAUSE_DEGRADED = "degraded"
+CAUSE_BANDWIDTH = "bandwidth"
+CAUSE_OVERREACH = "abr_overreach"
+
+#: All causes, in attribution precedence order.
+CAUSES = (
+    CAUSE_FAULT, CAUSE_RETRY, CAUSE_DEGRADED, CAUSE_BANDWIDTH,
+    CAUSE_OVERREACH,
+)
+
+CAUSE_DESCRIPTIONS: Dict[str, str] = {
+    CAUSE_FAULT: "stall interval overlaps an injected fault window",
+    CAUSE_RETRY: "segment spent time in timeout/reset retry chains",
+    CAUSE_DEGRADED: "retry budget exhausted: segment floored or skipped",
+    CAUSE_BANDWIDTH: "network delivered less than the decision-time estimate",
+    CAUSE_OVERREACH: "the ABR's own choice could not fit its buffer headroom",
+}
+
+
+def _zero_float() -> Dict[str, float]:
+    return {cause: 0.0 for cause in CAUSES}
+
+
+def _zero_int() -> Dict[str, int]:
+    return {cause: 0 for cause in CAUSES}
+
+
+@dataclass
+class AttributionResult:
+    """Per-cause partition of one session's (or a fleet's) bad seconds."""
+
+    stall_seconds: Dict[str, float] = field(default_factory=_zero_float)
+    stall_events: Dict[str, int] = field(default_factory=_zero_int)
+    quality_drops: Dict[str, int] = field(default_factory=_zero_int)
+    total_stall: float = 0.0
+    total_stall_events: int = 0
+    total_drops: int = 0
+    #: ``total_stall`` from the session_end event, when one was seen.
+    reported_stall: Optional[float] = None
+
+    @property
+    def attributed_stall(self) -> float:
+        return sum(self.stall_seconds.values())
+
+    @property
+    def residual(self) -> float:
+        """Stall seconds the partition failed to cover (law: ~0)."""
+        return self.total_stall - self.attributed_stall
+
+    @property
+    def ok(self) -> bool:
+        """Does the attribution partition hold exactly?"""
+        if abs(self.residual) > TOLERANCE:
+            return False
+        if sum(self.stall_events.values()) != self.total_stall_events:
+            return False
+        if sum(self.quality_drops.values()) != self.total_drops:
+            return False
+        if self.reported_stall is not None and (
+            abs(self.reported_stall - self.attributed_stall) > TOLERANCE
+        ):
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stall_seconds": {c: self.stall_seconds[c] for c in CAUSES},
+            "stall_events": {c: self.stall_events[c] for c in CAUSES},
+            "quality_drops": {c: self.quality_drops[c] for c in CAUSES},
+            "total_stall": self.total_stall,
+            "total_stall_events": self.total_stall_events,
+            "total_drops": self.total_drops,
+            "reported_stall": self.reported_stall,
+            "residual": self.residual,
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AttributionResult":
+        """Rebuild from :meth:`to_dict` output (``residual``/``ok`` are
+        derived properties and recomputed, not trusted)."""
+        reported = data.get("reported_stall")
+        return cls(
+            stall_seconds={
+                c: float(data["stall_seconds"][c]) for c in CAUSES
+            },
+            stall_events={
+                c: int(data["stall_events"][c]) for c in CAUSES
+            },
+            quality_drops={
+                c: int(data["quality_drops"][c]) for c in CAUSES
+            },
+            total_stall=float(data["total_stall"]),
+            total_stall_events=int(data["total_stall_events"]),
+            total_drops=int(data["total_drops"]),
+            reported_stall=(
+                float(reported) if reported is not None else None
+            ),
+        )
+
+    def merge(self, other: "AttributionResult") -> None:
+        """Fold another session's partition in (fleet aggregation)."""
+        for cause in CAUSES:
+            self.stall_seconds[cause] += other.stall_seconds[cause]
+            self.stall_events[cause] += other.stall_events[cause]
+            self.quality_drops[cause] += other.quality_drops[cause]
+        self.total_stall += other.total_stall
+        self.total_stall_events += other.total_stall_events
+        self.total_drops += other.total_drops
+        if other.reported_stall is not None:
+            self.reported_stall = (
+                self.reported_stall or 0.0
+            ) + other.reported_stall
+
+
+class SessionAttributor:
+    """Streaming causal attribution for one session's event stream.
+
+    Feed events in stream order; read :meth:`result` at any point.
+    State is bounded by segment count (decision-time estimates, wire
+    sizes, failure/degrade flags), never by event count.
+    """
+
+    def __init__(self) -> None:
+        self._windows: List[Tuple[float, float]] = []
+        self._failed: set = set()        # segments with timeout/reset/retry
+        self._degraded: set = set()      # segments floored or skipped
+        self._abandoned: set = set()     # segments restarted at lower quality
+        # segment -> (throughput_bps estimate, buffer_level_s, decision t)
+        self._decisions: Dict[int, Tuple[float, float, float]] = {}
+        self._wire: Dict[int, float] = {}  # segment -> first-attempt bytes
+        self._last_quality: Optional[int] = None
+        self._stall_seconds = _zero_float()
+        self._stall_events = _zero_int()
+        self._drops = _zero_int()
+        self._total_stall = 0.0
+        self._total_stall_events = 0
+        self._total_drops = 0
+        self._reported: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def feed(self, event: TraceEvent) -> None:
+        """Consume one event (tracer-observer signature)."""
+        handler = self._HANDLERS.get(event.type)
+        if handler is not None:
+            handler(self, event)
+
+    def result(self) -> AttributionResult:
+        """Snapshot of the partition accumulated so far."""
+        return AttributionResult(
+            stall_seconds=dict(self._stall_seconds),
+            stall_events=dict(self._stall_events),
+            quality_drops=dict(self._drops),
+            total_stall=self._total_stall,
+            total_stall_events=self._total_stall_events,
+            total_drops=self._total_drops,
+            reported_stall=self._reported,
+        )
+
+    # ------------------------------------------------------------------
+    def _on_fault(self, event: TraceEvent) -> None:
+        fields = event.fields
+        start = float(fields["start"])
+        duration = max(float(fields["duration"]), 0.0)
+        self._windows.append((start, start + duration))
+
+    def _on_failure(self, event: TraceEvent) -> None:
+        # Repair/manifest failures degrade silently by design and never
+        # stall a segment; only segment-context chains claim blame.
+        if event.fields.get("context", "segment") != "segment":
+            return
+        self._failed.add(int(event.fields["segment"]))
+
+    def _on_degraded(self, event: TraceEvent) -> None:
+        fields = event.fields
+        if fields.get("context", "segment") != "segment":
+            return
+        self._degraded.add(int(fields["segment"]))
+
+    def _on_decision(self, event: TraceEvent) -> None:
+        fields = event.fields
+        if float(fields["wait_s"]) > 0:
+            return
+        self._decisions[int(fields["segment"])] = (
+            float(fields["throughput_bps"]),
+            float(fields["buffer_level_s"]),
+            event.t,
+        )
+
+    def _on_download_start(self, event: TraceEvent) -> None:
+        fields = event.fields
+        if int(fields["attempt"]) == 0:
+            self._wire[int(fields["segment"])] = float(fields["wire_bytes"])
+
+    def _on_abandon(self, event: TraceEvent) -> None:
+        self._abandoned.add(int(event.fields["segment"]))
+
+    def _on_session_end(self, event: TraceEvent) -> None:
+        self._reported = float(event.fields["total_stall"])
+
+    # ------------------------------------------------------------------
+    def _in_fault_window(self, t0: float, t1: float) -> bool:
+        for start, end in self._windows:
+            # Closed-interval overlap so zero-width fault points (resets)
+            # still claim the stall they trigger.
+            if start <= t1 and t0 <= end:
+                return True
+        return False
+
+    def _classify_stall(self, event: TraceEvent) -> str:
+        fields = event.fields
+        duration = float(fields["duration"])
+        segment = int(fields["segment"])
+        t1 = event.t
+        t0 = t1 - max(duration, 0.0)
+        if self._in_fault_window(t0, t1):
+            return CAUSE_FAULT
+        if segment in self._failed:
+            return CAUSE_RETRY
+        if segment in self._degraded:
+            return CAUSE_DEGRADED
+        decision = self._decisions.get(segment)
+        if segment < 0 or decision is None:
+            # A stall outside any download — an ABR-commanded wait or a
+            # repair window that ran the buffer dry — is the controller's.
+            return CAUSE_OVERREACH
+        throughput, buffer_level, _ = decision
+        wire = self._wire.get(segment)
+        if throughput <= 0.0 or wire is None or wire <= 0.0:
+            # No estimate yet (cold start): the network owes the blame.
+            return CAUSE_BANDWIDTH
+        expected_s = wire * 8.0 / throughput
+        if expected_s > buffer_level + TOLERANCE:
+            # Even at its own estimate the download could not finish
+            # inside the buffer headroom: the ABR overreached.
+            return CAUSE_OVERREACH
+        return CAUSE_BANDWIDTH
+
+    def _on_stall(self, event: TraceEvent) -> None:
+        duration = float(event.fields["duration"])
+        if duration <= 0.0:
+            return
+        cause = self._classify_stall(event)
+        self._stall_seconds[cause] += duration
+        self._stall_events[cause] += 1
+        self._total_stall += duration
+        self._total_stall_events += 1
+
+    def _on_download_end(self, event: TraceEvent) -> None:
+        fields = event.fields
+        quality = int(fields["quality"])
+        segment = int(fields["segment"])
+        last = self._last_quality
+        self._last_quality = quality
+        if last is None or quality >= last:
+            return
+        self._total_drops += 1
+        decision = self._decisions.get(segment)
+        decision_t = decision[2] if decision is not None else event.t
+        if self._in_fault_window(decision_t, event.t):
+            cause = CAUSE_FAULT
+        elif segment in self._failed:
+            cause = CAUSE_RETRY
+        elif segment in self._degraded:
+            cause = CAUSE_DEGRADED
+        elif segment in self._abandoned:
+            # Mid-download restart at lower quality: the realized trace
+            # underdelivered against the committed choice.
+            cause = CAUSE_BANDWIDTH
+        else:
+            previous = self._decisions.get(segment - 1)
+            if (
+                decision is not None
+                and previous is not None
+                and decision[0] < previous[0] - TOLERANCE
+            ):
+                cause = CAUSE_BANDWIDTH
+            else:
+                cause = CAUSE_OVERREACH
+        self._drops[cause] += 1
+
+    _HANDLERS = {
+        ev.FAULT_INJECTED: _on_fault,
+        ev.REQUEST_TIMEOUT: _on_failure,
+        ev.CONNECTION_RESET: _on_failure,
+        ev.RETRY: _on_failure,
+        ev.DEGRADED: _on_degraded,
+        ev.ABR_DECISION: _on_decision,
+        ev.DOWNLOAD_START: _on_download_start,
+        ev.ABANDON: _on_abandon,
+        ev.STALL: _on_stall,
+        ev.DOWNLOAD_END: _on_download_end,
+        ev.SESSION_END: _on_session_end,
+    }
+
+
+class FleetAttributor:
+    """Partition an interleaved multi-client stream by ``session_id``.
+
+    Solo traces (no ``session_id``) reduce to a single partition keyed
+    ``None``; back-to-back solo sessions in one stream (an experiment
+    cell's repetitions sharing one observer) are split at each
+    ``session_start``, with finished sessions archived into the
+    combined result.  Session order follows first appearance in the
+    stream, so results are deterministic for a deterministic trace.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: Dict[object, SessionAttributor] = {}
+        self._order: List[object] = []
+        self._archived: List[AttributionResult] = []
+
+    def feed(self, event: TraceEvent) -> None:
+        sid = event.fields.get("session_id")
+        if (
+            sid is None
+            and event.type == ev.SESSION_START
+            and None in self._sessions
+        ):
+            self._archived.append(self._sessions.pop(None).result())
+        attributor = self._sessions.get(sid)
+        if attributor is None:
+            attributor = self._sessions[sid] = SessionAttributor()
+            if sid not in self._order:
+                self._order.append(sid)
+        attributor.feed(event)
+
+    def results(self) -> "Dict[object, AttributionResult]":
+        """Live per-session partitions, in order of first appearance."""
+        return {
+            sid: self._sessions[sid].result()
+            for sid in self._order
+            if sid in self._sessions
+        }
+
+    def combined(self) -> AttributionResult:
+        """Fleet-wide partition: per-session results folded together."""
+        combined = AttributionResult()
+        any_reported = False
+        parts = list(self._archived)
+        parts.extend(
+            self._sessions[sid].result()
+            for sid in self._order
+            if sid in self._sessions
+        )
+        for result in parts:
+            combined.merge(result)
+            if result.reported_stall is not None:
+                any_reported = True
+        if not any_reported:
+            combined.reported_stall = None
+        return combined
+
+
+def attribute_events(events: Iterable[TraceEvent]) -> AttributionResult:
+    """One-shot attribution over any event iterable (fleet-combined)."""
+    fleet = FleetAttributor()
+    for event in events:
+        fleet.feed(event)
+    return fleet.combined()
+
+
+def format_attribution(result: AttributionResult) -> str:
+    """Human-readable per-cause breakdown."""
+    lines = ["=== stall attribution ==="]
+    total = result.total_stall
+    for cause in CAUSES:
+        seconds = result.stall_seconds[cause]
+        share = seconds / total * 100.0 if total > 0 else 0.0
+        lines.append(
+            f"{cause:14s} {seconds:8.3f}s ({share:5.1f}%) "
+            f"events={result.stall_events[cause]:3d} "
+            f"drops={result.quality_drops[cause]:3d}"
+        )
+    lines.append(
+        f"{'total':14s} {total:8.3f}s          "
+        f"events={result.total_stall_events:3d} "
+        f"drops={result.total_drops:3d}"
+    )
+    verdict = "holds" if result.ok else "VIOLATED"
+    lines.append(
+        f"partition law {verdict} (residual {result.residual:+.2e}s)"
+    )
+    return "\n".join(lines)

@@ -290,6 +290,65 @@ def _bench_resilience(tiny, seed: int) -> Dict[str, float]:
     }
 
 
+def _bench_rollup(tiny, seed: int) -> Dict[str, float]:
+    """Tracing-off fast path vs streaming rollup on one seeded session.
+
+    ``wall_s`` times the session with the :class:`NullTracer` — the
+    production fast path every emit site gates on — so bench comparisons
+    catch any PR that puts work on the tracing-off path.  The same
+    seeded session then runs again under a buffer-less
+    :class:`StreamingTracer` feeding a fleet rollup and causal stall
+    attributor, yielding the observer overhead and an ``audit_ok``
+    correctness gate (the attribution partition law must hold).
+    """
+    from repro.abr import make_abr
+    from repro.network.traces import get_trace
+    from repro.obs.attribution import FleetAttributor
+    from repro.obs.rollup import TraceRollup
+    from repro.obs.tracer import NULL_TRACER, StreamingTracer
+    from repro.player.session import SessionConfig, StreamingSession
+
+    def build(tracer):
+        abr = make_abr("abr_star", prepared=tiny)
+        config = SessionConfig(buffer_segments=3)
+        return StreamingSession(
+            tiny, abr, get_trace("verizon", seed=seed), config,
+            tracer=tracer,
+        )
+
+    session = build(NULL_TRACER)
+    t0 = time.perf_counter()
+    metrics = session.run()
+    wall = max(time.perf_counter() - t0, 1e-9)
+
+    rollup = TraceRollup()
+    fleet = FleetAttributor()
+    streaming = StreamingTracer(observers=[rollup.feed, fleet.feed])
+    session = build(streaming)
+    t0 = time.perf_counter()
+    session.run()
+    rollup_wall = max(time.perf_counter() - t0, 1e-9)
+    events = rollup.events_seen
+    combined = fleet.combined()
+    return {
+        "kind": "macro",
+        "workload": tiny.name,
+        "wall_s": wall,
+        "sim_s": metrics.wall_duration,
+        "sim_s_per_wall_s": metrics.wall_duration / wall,
+        "events": events,
+        "events_per_s": events / rollup_wall,
+        # Both paths are memory-bounded: the null tracer records nothing
+        # and the streaming tracer dispatches without buffering.
+        "peak_trace_bytes": 0,
+        "segments": len(metrics.records),
+        "rollup_wall_s": rollup_wall,
+        "rollup_overhead_pct": (rollup_wall - wall) / wall * 100.0,
+        "stall_p99_s": rollup.percentile("stall_seconds", 99),
+        "audit_ok": combined.ok,
+    }
+
+
 def _bench_parallel_runner(tiny, seed: int) -> Dict[str, float]:
     """Serial vs parallel trial executor on the same experiment cell."""
     from repro.experiments.runner import ExperimentConfig, run_trials
@@ -378,6 +437,9 @@ def run_suite(
         # Chaos cell: the resilience machinery under the mixed fault
         # profile, with the inline invariant auditor attached.
         benchmarks["macro.resilience"] = _bench_resilience(tiny, seed)
+        # Null-tracer fast path vs streaming rollup observers: gates the
+        # tracing-off cost and the fleet-observability overhead.
+        benchmarks["macro.rollup"] = _bench_rollup(tiny, seed)
         benchmarks["macro.parallel_runner"] = _bench_parallel_runner(
             tiny, seed
         )

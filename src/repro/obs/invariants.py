@@ -36,6 +36,11 @@ contract the paper's design relies on:
   bytes the retry resumes from equal the bytes the failed chain had
   accounted — nothing is re-fetched or double-counted across retries
   (the resilience layer's contract).
+* ``stall_attribution`` — the causal engine in
+  :mod:`repro.obs.attribution` assigns every stall second to exactly one
+  cross-layer cause (fault, retry, degraded, bandwidth, ABR overreach),
+  and the per-cause sums partition the session's reported stall time
+  exactly — no bad second is double-counted or unexplained.
 
 The auditor is incremental: :meth:`TraceAuditor.feed` consumes one event
 at a time, so it can run inline as a tracer observer (catching
@@ -47,9 +52,10 @@ over a parsed JSONL file via :func:`audit_events` / ``repro trace
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.obs import events as ev
+from repro.obs.attribution import SessionAttributor
 from repro.obs.events import TraceEvent
 
 #: Tolerance for float conservation checks.  Buffer levels and stall
@@ -70,6 +76,7 @@ INVARIANTS: Dict[str, str] = {
     "stall_accounting": "session_end stall totals and bufRatio equal the sum of stall events",
     "shared_link_conservation": "a shared link's delivered + dropped packets equal the packets the sessions offered",
     "retry_accounting": "every request failure resolves to exactly one retry or degradation, with bytes conserved across the retry chain",
+    "stall_attribution": "every stall second maps to exactly one cross-layer cause, and per-cause sums partition the session's stall time",
 }
 
 
@@ -136,6 +143,9 @@ class TraceAuditor:
         # Retry-accounting state: segment -> the unresolved failure event
         # (request_timeout / connection_reset awaiting a retry/degraded).
         self._pending_failure: Dict[int, TraceEvent] = {}
+        # Causal attribution runs alongside the conservation checks; the
+        # partition law it produces is audited at session_end.
+        self._attributor = SessionAttributor()
 
     # ------------------------------------------------------------------
     def _flag(self, invariant: str, event: TraceEvent, message: str) -> None:
@@ -149,6 +159,7 @@ class TraceAuditor:
         """Audit one event (events must arrive in stream order)."""
         self._index += 1
         self._check_clock(event)
+        self._attributor.feed(event)
         handler = self._HANDLERS.get(event.type)
         if handler is not None:
             handler(self, event)
@@ -222,6 +233,33 @@ class TraceAuditor:
                 "stall_accounting", event,
                 f"session_end reports {segments} segments but the trace "
                 f"pushed {self._sample_count} buffer samples",
+            )
+        result = self._attributor.result()
+        attributed = result.attributed_stall
+        if abs(attributed - self._stall_total) > self.tolerance:
+            self._flag(
+                "stall_attribution", event,
+                f"per-cause stall seconds sum to {attributed:.6f}s but "
+                f"the trace's stall events total "
+                f"{self._stall_total:.6f}s — the partition leaks",
+            )
+        elif abs(attributed - total) > self.tolerance:
+            self._flag(
+                "stall_attribution", event,
+                f"per-cause stall seconds sum to {attributed:.6f}s but "
+                f"session_end reports {total:.6f}s of stall",
+            )
+        if sum(result.stall_events.values()) != result.total_stall_events:
+            self._flag(
+                "stall_attribution", event,
+                f"{result.total_stall_events} stall events but per-cause "
+                f"counts sum to {sum(result.stall_events.values())}",
+            )
+        if sum(result.quality_drops.values()) != result.total_drops:
+            self._flag(
+                "stall_attribution", event,
+                f"{result.total_drops} quality drops but per-cause "
+                f"counts sum to {sum(result.quality_drops.values())}",
             )
 
     # -- player layer ---------------------------------------------------
@@ -667,6 +705,23 @@ def audit_events(
         MultiSessionAuditor(tolerance=tolerance) if multi
         else TraceAuditor(tolerance=tolerance)
     )
+    for event in events:
+        auditor.feed(event)
+    return auditor.finalize()
+
+
+def audit_stream(
+    events: Iterable[TraceEvent], tolerance: float = FLOAT_TOLERANCE
+) -> AuditReport:
+    """Audit an event stream in one pass, without materializing it.
+
+    Unlike :func:`audit_events` — which must scan the whole sequence to
+    decide between the single- and multi-session auditor — this feeds a
+    :class:`MultiSessionAuditor` directly (solo traces reduce to one
+    per-session audit keyed ``None``), so arbitrarily large JSONL
+    traces audit in memory bounded by session count, not event count.
+    """
+    auditor = MultiSessionAuditor(tolerance=tolerance)
     for event in events:
         auditor.feed(event)
     return auditor.finalize()

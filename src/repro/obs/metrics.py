@@ -164,6 +164,31 @@ class Histogram:
         self._count += other._count
         self.total += other.total
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot: enough to rebuild the reservoir exactly."""
+        return {
+            "reservoir": self._reservoir,
+            "values": list(self._values),
+            "seen": self._seen,
+            "count": self._count,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram from :meth:`state_dict` output.
+
+        The restored reservoir holds the same samples in the same order,
+        so percentiles — and any subsequent :meth:`merge` — match what
+        the original instance would have produced.
+        """
+        hist = cls(reservoir=int(state["reservoir"]))
+        hist._values = [float(v) for v in state["values"]]
+        hist._seen = int(state["seen"])
+        hist._count = int(state["count"])
+        hist.total = float(state["total"])
+        return hist
+
 
 class MetricsRegistry:
     """Get-or-create registry of labeled metric series."""

@@ -77,6 +77,27 @@ class Comparison:
     def failed(self) -> bool:
         return bool(self.regressions or self.missing or self.broken)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form (``repro bench --json``)."""
+        counts: Dict[str, int] = {}
+        for row in self.rows:
+            counts[row.status] = counts.get(row.status, 0) + 1
+        return {
+            "threshold_pct": self.threshold_pct,
+            "failed": self.failed,
+            "counts": dict(sorted(counts.items())),
+            "rows": [
+                {
+                    "name": row.name,
+                    "baseline_s": row.baseline_s,
+                    "current_s": row.current_s,
+                    "delta_pct": row.delta_pct,
+                    "status": row.status,
+                }
+                for row in self.rows
+            ],
+        }
+
 
 def compare_payloads(
     baseline: Dict[str, object],

@@ -157,6 +157,64 @@ class Tracer:
         return len(self._buffer)
 
 
+class StreamingTracer:
+    """A tracer that dispatches to observers without buffering events.
+
+    The fleet-scale record path: sessions emit through the usual tracer
+    interface, every event reaches the observers (rollups, attributors,
+    auditors), and nothing is retained — memory stays O(1) in trace
+    length.  ``events`` is always empty and ``write_jsonl`` writes
+    nothing; use :class:`Tracer` when the raw stream itself is wanted.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        validate: bool = True,
+        observers: Optional[Iterable[Callable[[TraceEvent], None]]] = None,
+    ):
+        self.clock = clock
+        self.validate = validate
+        self.dropped = 0
+        self._seq = 0
+        self._observers: List[Callable[[TraceEvent], None]] = list(
+            observers or ()
+        )
+
+    def add_observer(self, observer: Callable[[TraceEvent], None]) -> None:
+        """Subscribe ``observer`` to every subsequently emitted event."""
+        self._observers.append(observer)
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Use ``clock`` for timestamps from now on."""
+        self.clock = clock
+
+    def emit(self, type_: str, **fields) -> TraceEvent:
+        t = self.clock.now if self.clock is not None else 0.0
+        return self.emit_at(t, type_, **fields)
+
+    def emit_at(self, t: float, type_: str, **fields) -> TraceEvent:
+        event = TraceEvent(seq=self._seq, t=t, type=type_, fields=fields)
+        if self.validate:
+            event.validate()
+        self._seq += 1
+        for observer in self._observers:
+            observer(event)
+        return event
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def write_jsonl(self, destination) -> int:
+        return 0
+
+
 class SessionTracer:
     """A per-session view onto a shared :class:`Tracer`.
 

@@ -26,7 +26,7 @@ def test_payload_schema(payload):
         "micro.decode_segment", "micro.abr_choose", "micro.transport_round",
         "macro.session.round", "macro.session.packet",
         "macro.multiclient", "macro.parallel_runner",
-        "macro.resilience",
+        "macro.resilience", "macro.rollup",
     }
     for name, stats in payload["benchmarks"].items():
         assert stats["wall_s"] > 0, name
@@ -70,6 +70,23 @@ def test_resilience_stats(payload):
     assert stats["faults_injected"] > 0
     assert stats["segments"] == 6
     assert stats["events"] > 0
+
+
+def test_rollup_stats(payload):
+    stats = payload["benchmarks"]["macro.rollup"]
+    assert stats["kind"] == "macro"
+    # wall_s times the NullTracer fast path; the observer pass is
+    # reported separately so regressions gate the tracing-off cost.
+    assert stats["rollup_wall_s"] > 0
+    assert stats["rollup_overhead_pct"] == pytest.approx(
+        (stats["rollup_wall_s"] - stats["wall_s"]) / stats["wall_s"] * 100.0
+    )
+    # Neither path buffers events.
+    assert stats["peak_trace_bytes"] == 0
+    assert stats["events"] > 0
+    assert stats["segments"] == 6
+    assert stats["stall_p99_s"] >= 0.0
+    assert stats["audit_ok"] is True
 
 
 def test_parallel_runner_stats(payload):
@@ -197,6 +214,39 @@ def test_cli_bench_compare_exit_codes(payload, tmp_path, capsys):
                "--compare", str(base_path), "--threshold", "60"])
     assert rc == 0
     assert "no regressions" in capsys.readouterr().out
+
+
+def test_cli_bench_json_compare_object(payload, tmp_path, capsys):
+    """--json --compare emits one machine-readable object for CI."""
+    from repro.cli import main
+
+    base_path = tmp_path / "BENCH_base.json"
+    bench.write_payload(payload, str(base_path))
+    slower = _with_wall(
+        payload, "micro.abr_choose",
+        payload["benchmarks"]["micro.abr_choose"]["wall_s"] * 1.5,
+    )
+    cur_path = tmp_path / "BENCH_cur.json"
+    bench.write_payload(slower, str(cur_path))
+
+    rc = main(["--json", "bench", "--input", str(cur_path),
+               "--compare", str(base_path), "--threshold", "10"])
+    assert rc == 1
+    out = json.loads(capsys.readouterr().out)
+    assert set(out) == {"payload", "comparison"}
+    assert out["payload"]["benchmarks"].keys() == payload["benchmarks"].keys()
+    comparison = out["comparison"]
+    assert comparison["failed"] is True
+    assert comparison["threshold_pct"] == 10.0
+    assert comparison["counts"]["regression"] == 1
+    by_name = {row["name"]: row for row in comparison["rows"]}
+    row = by_name["micro.abr_choose"]
+    assert row["status"] == "regression"
+    assert row["delta_pct"] == pytest.approx(50.0)
+    assert all(
+        set(r) == {"name", "baseline_s", "current_s", "delta_pct", "status"}
+        for r in comparison["rows"]
+    )
 
 
 def test_cli_bench_rejects_unreadable_baseline(payload, tmp_path):

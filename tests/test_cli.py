@@ -83,7 +83,7 @@ class TestCommands:
         captured = capsys.readouterr()
         assert "retries" in captured.out
         assert "degraded segs" in captured.out
-        assert "10 invariants checked" in captured.err
+        assert "11 invariants checked" in captured.err
 
     def test_stream_without_faults_has_no_resilience_block(self, capsys):
         assert main(["stream", "bbb", "--trace", "constant:10.5"]) == 0

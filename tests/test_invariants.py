@@ -334,10 +334,11 @@ class TestRetryAccounting:
 # Reporting surface.
 # ---------------------------------------------------------------------------
 class TestReporting:
-    def test_catalog_covers_ten_invariants(self):
-        assert len(INVARIANTS) == 10
+    def test_catalog_covers_eleven_invariants(self):
+        assert len(INVARIANTS) == 11
         assert "shared_link_conservation" in INVARIANTS
         assert "retry_accounting" in INVARIANTS
+        assert "stall_attribution" in INVARIANTS
 
     def test_violation_string_pins_event(self):
         events = [
@@ -353,7 +354,7 @@ class TestReporting:
     def test_clean_report_format(self):
         report = audit_events([_session_start()])
         assert format_report(report) == (
-            "ok: 1 events, 10 invariants checked, 0 violations"
+            "ok: 1 events, 11 invariants checked, 0 violations"
         )
 
     def test_incremental_feed_matches_batch(self):
