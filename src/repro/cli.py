@@ -13,6 +13,8 @@
     python -m repro report chaos.jsonl --check           # fleet report
     python -m repro bench --quick             # benchmark suite
     python -m repro bench --compare BENCH_main.json --threshold 10
+    python -m repro profile bbb --out ledger.json --collapsed prof.folded
+    python -m repro diff BENCH_main.json BENCH_pr.json --threshold 25
     python -m repro compare bbb --trace tmobile --buffer 1
     python -m repro sweep --spec grid.json --workers 4 --out results.jsonl
     python -m repro sweep --abrs bola,abr_star --buffers 1,3 --dry-run
@@ -618,6 +620,92 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if comparison.failed else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.spec import ScenarioSpec
+    from repro.obs.ledger import (
+        build_ledger,
+        collapsed_stacks,
+        format_ledger,
+        profile_trials,
+        write_ledger,
+    )
+
+    if args.spec:
+        text = args.spec
+        try:
+            if text.startswith("@"):
+                with open(text[1:], encoding="utf-8") as handle:
+                    text = handle.read()
+            fields = json.loads(text)
+            if not isinstance(fields, dict):
+                raise ValueError("scenario spec must be a JSON object")
+            spec = ScenarioSpec.from_dict(fields)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read scenario spec {args.spec!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        if not args.video:
+            print("error: provide a VIDEO or --spec JSON|@FILE",
+                  file=sys.stderr)
+            return 2
+        fields: Dict = {
+            "video": args.video,
+            "abr": args.abr,
+            "trace": args.trace,
+            "buffer_segments": args.buffer,
+            "seed": args.seed,
+            "repetitions": args.reps,
+        }
+        if args.backend:
+            fields["backend"] = args.backend
+        spec = ScenarioSpec.from_dict(fields)
+
+    profiler, _summary, wall_s = profile_trials(spec, workers=args.workers)
+    ledger = build_ledger(
+        profiler, wall_s, label=spec.label(), spec=spec.to_dict(),
+        spec_hash=spec.spec_hash(), top=args.top,
+    )
+    for path, content, what in (
+        (args.out, None, "ledger"),
+        (args.collapsed, collapsed_stacks(ledger), "collapsed stacks"),
+    ):
+        if not path:
+            continue
+        try:
+            if content is None:
+                write_ledger(path, ledger)
+            else:
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(content)
+        except OSError as exc:
+            print(f"error: cannot write {path!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {what} to {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(ledger, indent=2, sort_keys=True))
+    else:
+        print(format_ledger(ledger, top=args.top))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import diff_files, format_diff
+
+    try:
+        result = diff_files(
+            args.baseline, args.current, threshold_pct=args.threshold
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(format_diff(result))
+    return 1 if result["failed"] else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import (
         SweepSpec,
@@ -687,6 +775,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             rows = run_sweep(
                 sweep, workers=args.workers, rollup=args.rollup,
                 sample_rate=args.sample, sample_seed=args.sample_seed,
+                profile=args.profile,
             )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -751,6 +840,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             profiles=profiles, seeds=seeds, base=base,
             workers=args.workers, rollup=args.rollup,
             sample_rate=args.sample, sample_seed=args.sample_seed,
+            profile=args.profile,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -955,6 +1045,54 @@ def build_parser() -> argparse.ArgumentParser:
         "running the suite",
     )
 
+    p_profile = sub.add_parser(
+        "profile",
+        help="run a scenario under the span profiler and emit a perf "
+        "ledger (subsystem attribution, hotspots, collapsed stacks)",
+    )
+    p_profile.add_argument("video", nargs="?", default=None)
+    p_profile.add_argument(
+        "--spec", default=None, metavar="JSON|@FILE",
+        help="full ScenarioSpec as inline JSON or @path (overrides the "
+        "positional/flag form)",
+    )
+    p_profile.add_argument("--abr", default="abr_star")
+    p_profile.add_argument("--trace", default="verizon")
+    p_profile.add_argument("--buffer", type=int, default=2,
+                           help="playback buffer in segments")
+    p_profile.add_argument("--backend", default=None,
+                           choices=("round", "packet"))
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--reps", type=int, default=1,
+                           help="repetitions to profile (default 1)")
+    p_profile.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the repetitions (the ledger's "
+        "deterministic span tree is worker-count invariant)",
+    )
+    p_profile.add_argument("--top", type=int, default=12,
+                           help="hotspots to keep in the ledger")
+    p_profile.add_argument("--out", default=None, metavar="PATH",
+                           help="write the perf ledger JSON to this file")
+    p_profile.add_argument(
+        "--collapsed", default=None, metavar="PATH",
+        help="write collapsed stacks (speedscope/flamegraph.pl format) "
+        "to this file",
+    )
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two BENCH_*.json or two perf ledgers and "
+        "attribute the wall-time delta to subsystems",
+    )
+    p_diff.add_argument("baseline", help="baseline bench payload or ledger")
+    p_diff.add_argument("current", help="current bench payload or ledger")
+    p_diff.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="regression threshold in percent (default 10); exit 1 "
+        "when exceeded",
+    )
+
     p_compare = sub.add_parser(
         "compare", help="BOLA vs BETA vs VOXEL on one scenario"
     )
@@ -1056,6 +1194,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate an existing sweep JSONL against the row schema "
         "(spec hash round-trip included); exit 1 on violation",
     )
+    p_sweep.add_argument(
+        "--profile", action="store_true",
+        help="run every cell under the span profiler; rows gain a "
+        "'ledger' key (works at any --workers count)",
+    )
     _add_rollup_flags(p_sweep)
 
     p_faults = sub.add_parser(
@@ -1099,6 +1242,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_faults.add_argument("--metrics", action="store_true",
                           help="print the metrics registry after the run")
+    p_faults.add_argument(
+        "--profile", action="store_true",
+        help="run every cell under the span profiler; rows gain a "
+        "'ledger' key (works at any --workers count)",
+    )
     _add_rollup_flags(p_faults)
 
     p_survey = sub.add_parser("survey", help="run the simulated user study")
@@ -1122,6 +1270,8 @@ _HANDLERS = {
     "survey": _cmd_survey,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
+    "profile": _cmd_profile,
+    "diff": _cmd_diff,
     "faults": _cmd_faults,
     "report": _cmd_report,
 }

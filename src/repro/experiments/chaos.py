@@ -20,15 +20,19 @@ CLI: ``repro faults --profiles blackouts,mixed --seeds 0,1,2
 from __future__ import annotations
 
 import json
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.build import StackBuilder
 from repro.core.spec import ScenarioSpec
 from repro.experiments.runner import _fork_map
 from repro.faults import FAULTS
+from repro.obs import spans as _spans
 from repro.obs.attribution import FleetAttributor
 from repro.obs.invariants import TraceAuditor
+from repro.obs.ledger import build_ledger
 from repro.obs.metrics import scoped_registry
+from repro.obs.profiling import enable_profiling, profiling_enabled
 from repro.obs.rollup import TraceRollup
 from repro.obs.tracer import Tracer
 from repro.prep.prepare import PreparedVideo, get_prepared
@@ -113,26 +117,49 @@ _CHAOS_PREPARED_MAP: Optional[Dict[str, PreparedVideo]] = None
 #: rollups (same fork-inheritance contract as the prepared map).
 _CHAOS_ROLLUP: Optional[Tuple[float, int]] = None
 
+#: ``(profile, timers)`` snapshot for workers — same contract as the
+#: sweep engine's ``_SWEEP_PROFILE``: re-applied per cell so forked
+#: workers honour ``--profile`` and the timer flag.
+_CHAOS_PROFILE: Optional[Tuple[bool, bool]] = None
+
 
 def _chaos_worker(item: Tuple[str, ScenarioSpec]) -> Dict:
     """Run one chaos cell: stream with the inline auditor attached."""
     profile, spec = item
+    do_profile, timers = (
+        _CHAOS_PROFILE
+        if _CHAOS_PROFILE is not None
+        else (False, profiling_enabled())
+    )
+    enable_profiling(timers)
     prepared = None
     if _CHAOS_PREPARED_MAP is not None:
         prepared = _CHAOS_PREPARED_MAP.get(spec.video)
-    auditor = TraceAuditor()
-    observers = [auditor.feed]
-    rollup = fleet = None
-    if _CHAOS_ROLLUP is not None:
-        rate, sample_seed = _CHAOS_ROLLUP
-        rollup = TraceRollup(sample_rate=rate, sample_seed=sample_seed)
-        fleet = FleetAttributor()
-        observers += [rollup.feed, fleet.feed]
-    tracer = Tracer(observers=observers)
-    with scoped_registry(merge=False):
-        from repro.core.api import stream_spec
+    # Install the cell profiler before the tracer (and, inside
+    # stream_spec, the rest of the stack) is built: spans capture
+    # their profiler at construction time.
+    prof = _spans.SpanProfiler() if do_profile else None
+    prev = _spans.install(prof) if do_profile else None
+    t0 = time.perf_counter()
+    try:
+        auditor = TraceAuditor()
+        observers = [auditor.feed]
+        rollup = fleet = None
+        if _CHAOS_ROLLUP is not None:
+            rate, sample_seed = _CHAOS_ROLLUP
+            rollup = TraceRollup(sample_rate=rate, sample_seed=sample_seed)
+            fleet = FleetAttributor()
+            observers += [rollup.feed, fleet.feed]
+        tracer = Tracer(observers=observers)
+        with scoped_registry(merge=False):
+            from repro.core.api import stream_spec
 
-        result = stream_spec(spec, prepared=prepared, tracer=tracer)
+            result = stream_spec(spec, prepared=prepared, tracer=tracer)
+    finally:
+        if do_profile:
+            prof.finalize()
+            _spans.install(prev)
+    wall_s = time.perf_counter() - t0
     report = auditor.finalize()
     summary = result.metrics.summary()
     row = {
@@ -151,6 +178,11 @@ def _chaos_worker(item: Tuple[str, ScenarioSpec]) -> Dict:
     if rollup is not None:
         row["rollup"] = rollup.to_dict()
         row["attribution"] = fleet.combined().to_dict()
+    if do_profile:
+        row["ledger"] = build_ledger(
+            prof, wall_s, label=spec.label(),
+            spec_hash=spec.spec_hash(), meta=False,
+        )
     return row
 
 
@@ -163,6 +195,7 @@ def run_chaos(
     rollup: bool = False,
     sample_rate: float = 1.0,
     sample_seed: int = 0,
+    profile: bool = False,
 ) -> List[Dict]:
     """Execute a chaos sweep; one audited result row per cell.
 
@@ -182,6 +215,8 @@ def run_chaos(
             row content stays byte-identical).
         sample_rate: per-session head-sampling rate for the rollups.
         sample_seed: seed of the sampling hash.
+        profile: run every cell under a span profiler; rows gain a
+            ``ledger`` key (same shape as sweep ledgers).
 
     Returns:
         One row per cell with the spec, its summary (including the
@@ -195,11 +230,12 @@ def run_chaos(
     for video in dict.fromkeys(spec.video for _, spec in cells):
         if prepared_map is None or video not in prepared_map:
             get_prepared(video)
-    global _CHAOS_PREPARED_MAP, _CHAOS_ROLLUP
+    global _CHAOS_PREPARED_MAP, _CHAOS_ROLLUP, _CHAOS_PROFILE
     _CHAOS_PREPARED_MAP = prepared_map
     _CHAOS_ROLLUP = (
         (float(sample_rate), int(sample_seed)) if rollup else None
     )
+    _CHAOS_PROFILE = (bool(profile), profiling_enabled())
     try:
         if workers <= 1 or len(cells) <= 1:
             rows = [_chaos_worker(cell) for cell in cells]
@@ -208,6 +244,7 @@ def run_chaos(
     finally:
         _CHAOS_PREPARED_MAP = None
         _CHAOS_ROLLUP = None
+        _CHAOS_PROFILE = None
     return rows
 
 

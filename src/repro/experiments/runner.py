@@ -29,8 +29,9 @@ import numpy as np
 from repro.core.build import StackBuilder
 from repro.core.spec import ScenarioSpec, reliability_mode
 from repro.network.traces import NetworkTrace, get_trace
+from repro.obs import spans
 from repro.obs.metrics import MetricsRegistry, get_registry, scoped_registry
-from repro.obs.profiling import timed
+from repro.obs.profiling import enable_profiling, profiling_enabled, timed
 from repro.obs.tracer import StreamingTracer, Tracer
 from repro.player.metrics import SessionMetrics, percentile_across, stderr_across
 from repro.prep.prepare import PreparedVideo, get_prepared
@@ -191,29 +192,42 @@ def _rep_session(
     trace: NetworkTrace,
     collect_trace: bool,
     observers: Optional[Sequence] = None,
-) -> Tuple[SessionMetrics, MetricsRegistry, Optional[str]]:
+    profile: bool = False,
+) -> Tuple[SessionMetrics, MetricsRegistry, Optional[str], Optional[Dict]]:
     """Run one repetition in its own metrics scope.
 
     Returns the session metrics, the repetition's registry (for the
     parent to merge in repetition order — the key to serial/parallel
-    metric identity), and the JSONL trace if requested.  ``observers``
-    see every trace event; without ``collect_trace`` they are served by
-    a buffer-less :class:`StreamingTracer`, so fleet rollups cost no
+    metric identity), the JSONL trace if requested, and the
+    repetition's serialized span tree when ``profile`` is set (folded
+    by the parent in repetition order too, so span trees — like
+    metrics — are identical at any worker count).  ``observers`` see
+    every trace event; without ``collect_trace`` they are served by a
+    buffer-less :class:`StreamingTracer`, so fleet rollups cost no
     per-event history.
     """
-    if collect_trace:
-        tracer = Tracer(observers=observers)
-    elif observers:
-        tracer = StreamingTracer(observers=observers)
-    else:
-        tracer = None
-    with scoped_registry(merge=False) as registry:
-        metrics = run_single(
-            config, shift_s=shift_s, prepared=prepared, trace=trace,
-            tracer=tracer,
-        )
+    prof = spans.SpanProfiler() if profile else None
+    prev = spans.install(prof) if profile else None
+    try:
+        # Install the profiler before building tracer + stack: hot
+        # components capture it at construction.
+        if collect_trace:
+            tracer = Tracer(observers=observers)
+        elif observers:
+            tracer = StreamingTracer(observers=observers)
+        else:
+            tracer = None
+        with scoped_registry(merge=False) as registry:
+            metrics = run_single(
+                config, shift_s=shift_s, prepared=prepared, trace=trace,
+                tracer=tracer,
+            )
+    finally:
+        if profile:
+            prof.finalize()
+            spans.install(prev)
     jsonl = tracer.to_jsonl() if collect_trace else None
-    return metrics, registry, jsonl
+    return metrics, registry, jsonl, (prof.to_dict() if profile else None)
 
 
 #: Prepared video handed to fork()ed workers via inheritance: non-catalog
@@ -224,15 +238,25 @@ _PARALLEL_PREPARED: Optional[PreparedVideo] = None
 
 
 def _trial_worker(
-    task: Tuple[ExperimentConfig, float, bool],
-) -> Tuple[SessionMetrics, MetricsRegistry, Optional[str]]:
-    """Process-pool entry point for one repetition."""
-    config, shift_s, collect_trace = task
+    task: Tuple[ExperimentConfig, float, bool, bool, bool],
+) -> Tuple[SessionMetrics, MetricsRegistry, Optional[str], Optional[Dict]]:
+    """Process-pool entry point for one repetition.
+
+    The task tuple carries the parent's profiling state explicitly:
+    fork() snapshots module globals at *pool creation*, so a flag
+    flipped after the pool warmed up (or a ``forkserver``/``spawn``
+    context someday) would silently strip ``--profile`` from every
+    worker.  Re-applying it per task makes propagation unconditional.
+    """
+    config, shift_s, collect_trace, timers, profile = task
+    enable_profiling(timers)
     prepared = _PARALLEL_PREPARED
     if prepared is None or prepared.video.name != config.video:
         prepared = get_prepared(config.video)
     trace = _resolve_trace(config)
-    return _rep_session(config, shift_s, prepared, trace, collect_trace)
+    return _rep_session(
+        config, shift_s, prepared, trace, collect_trace, profile=profile
+    )
 
 
 def _fork_map(worker, tasks: Sequence, workers: int) -> List:
@@ -287,6 +311,13 @@ def run_trials(
     shift_step = trace.duration / reps
     shifts = [i * shift_step for i in range(reps)]
 
+    # An ambient span profiler means "profile every repetition": each
+    # rep records into its own profiler (serial and parallel alike) and
+    # the trees fold back into the ambient one in repetition order, so
+    # the merged tree is byte-identical at any worker count.
+    parent_prof = spans.current()
+    profile = parent_prof is not None
+
     # Each trial runs inside its own registry scope so its metrics dump
     # reflects only these sessions; the scope merges back into the
     # parent on exit, keeping process-wide totals intact.
@@ -294,7 +325,7 @@ def run_trials(
         if workers <= 1:
             outcomes = [
                 _rep_session(config, shift, prepared, trace,
-                             collect_traces, observers)
+                             collect_traces, observers, profile=profile)
                 for shift in shifts
             ]
         else:
@@ -305,18 +336,24 @@ def run_trials(
             try:
                 outcomes = _fork_map(
                     _trial_worker,
-                    [(config, shift, collect_traces) for shift in shifts],
+                    [
+                        (config, shift, collect_traces,
+                         profiling_enabled(), profile)
+                        for shift in shifts
+                    ],
                     workers,
                 )
             finally:
                 _PARALLEL_PREPARED = None
         sessions = []
         traces: List[str] = []
-        for metrics, rep_registry, jsonl in outcomes:
+        for metrics, rep_registry, jsonl, prof_state in outcomes:
             sessions.append(metrics)
             registry.merge(rep_registry)
             if jsonl is not None:
                 traces.append(jsonl)
+            if prof_state is not None and parent_prof is not None:
+                parent_prof.merge_dict(prof_state)
         metrics_dump = registry.dump()
     return TrialSummary(
         config=config,

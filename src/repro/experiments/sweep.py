@@ -28,22 +28,27 @@ from __future__ import annotations
 
 import itertools
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.build import StackBuilder
 from repro.core.spec import ScenarioSpec
 from repro.experiments.runner import TrialSummary, _fork_map, run_trials
+from repro.obs import spans as _spans
 from repro.obs.attribution import FleetAttributor
+from repro.obs.ledger import build_ledger
 from repro.obs.metrics import scoped_registry
+from repro.obs.profiling import enable_profiling, profiling_enabled
 from repro.obs.rollup import TraceRollup
 from repro.prep.prepare import PreparedVideo, get_prepared
 
 #: Keys a result row may carry.  ``summary`` is absent in --dry-run
 #: rows; ``rollup`` and ``attribution`` appear only when the sweep ran
-#: with streaming rollups enabled (``run_sweep(rollup=True)``).
+#: with streaming rollups enabled (``run_sweep(rollup=True)``), and
+#: ``ledger`` only under ``run_sweep(profile=True)``.
 ROW_KEYS = ("spec_hash", "label", "spec", "summary", "rollup",
-            "attribution")
+            "attribution", "ledger")
 
 #: Keys every row's ``summary`` object carries (superset allowed).
 SUMMARY_KEYS = (
@@ -140,6 +145,13 @@ _SWEEP_PREPARED_MAP: Optional[Dict[str, PreparedVideo]] = None
 #: worker partitioning rolls up the same sessions.
 _SWEEP_ROLLUP: Optional[Tuple[float, int]] = None
 
+#: ``(profile, timers)`` snapshot for workers.  fork() freezes module
+#: globals at pool creation, so each worker re-applies the timer flag
+#: explicitly and decides from ``profile`` whether to build a per-cell
+#: span profiler (satellite: ``--profile`` must not be a silent no-op
+#: at ``workers>1``).
+_SWEEP_PROFILE: Optional[Tuple[bool, bool]] = None
+
 
 def _scenario_row(spec: ScenarioSpec, summary: TrialSummary) -> Dict:
     """One JSONL result row, keyed by the spec's content hash."""
@@ -161,6 +173,12 @@ def _sweep_worker(spec: ScenarioSpec) -> Dict:
     sweep cells from polluting the process-wide metrics registry, just
     as a fork()ed child's registry dies with the child).
     """
+    profile, timers = (
+        _SWEEP_PROFILE
+        if _SWEEP_PROFILE is not None
+        else (False, profiling_enabled())
+    )
+    enable_profiling(timers)
     prepared = None
     if _SWEEP_PREPARED_MAP is not None:
         prepared = _SWEEP_PREPARED_MAP.get(spec.video)
@@ -170,14 +188,30 @@ def _sweep_worker(spec: ScenarioSpec) -> Dict:
         rollup = TraceRollup(sample_rate=rate, sample_seed=seed)
         fleet = FleetAttributor()
         observers = [rollup.feed, fleet.feed]
-    with scoped_registry(merge=False):
-        summary = run_trials(
-            spec, prepared=prepared, workers=1, observers=observers
-        )
+    # Install the cell profiler before any component is built: spans
+    # capture their profiler at construction time.
+    prof = _spans.SpanProfiler() if profile else None
+    prev = _spans.install(prof) if profile else None
+    t0 = time.perf_counter()
+    try:
+        with scoped_registry(merge=False):
+            summary = run_trials(
+                spec, prepared=prepared, workers=1, observers=observers
+            )
+    finally:
+        if profile:
+            prof.finalize()
+            _spans.install(prev)
+    wall_s = time.perf_counter() - t0
     row = _scenario_row(spec, summary)
     if rollup is not None:
         row["rollup"] = rollup.to_dict()
         row["attribution"] = fleet.combined().to_dict()
+    if profile:
+        row["ledger"] = build_ledger(
+            prof, wall_s, label=spec.label(),
+            spec_hash=spec.spec_hash(), meta=False,
+        )
     return row
 
 
@@ -188,6 +222,7 @@ def run_sweep(
     rollup: bool = False,
     sample_rate: float = 1.0,
     sample_seed: int = 0,
+    profile: bool = False,
 ) -> List[Dict]:
     """Execute every cell of a sweep; one result row per scenario.
 
@@ -206,6 +241,11 @@ def run_sweep(
         sample_rate: per-session head-sampling rate for the rollups
             (hash-keyed, so the sampled set is worker-count invariant).
         sample_seed: seed of the sampling hash.
+        profile: run every cell under a span profiler; rows gain a
+            ``ledger`` key (per-subsystem attribution, hotspots, span
+            tree — ``summary`` stays byte-identical to a plain run,
+            and the ledger's ``deterministic`` block is worker-count
+            invariant).
 
     Returns:
         One row per scenario, in expansion order, each keyed by the
@@ -219,11 +259,12 @@ def run_sweep(
     for video in dict.fromkeys(spec.video for spec in specs):
         if prepared_map is None or video not in prepared_map:
             get_prepared(video)
-    global _SWEEP_PREPARED_MAP, _SWEEP_ROLLUP
+    global _SWEEP_PREPARED_MAP, _SWEEP_ROLLUP, _SWEEP_PROFILE
     _SWEEP_PREPARED_MAP = prepared_map
     _SWEEP_ROLLUP = (
         (float(sample_rate), int(sample_seed)) if rollup else None
     )
+    _SWEEP_PROFILE = (bool(profile), profiling_enabled())
     try:
         if workers <= 1 or len(specs) <= 1:
             rows = [_sweep_worker(spec) for spec in specs]
@@ -232,6 +273,7 @@ def run_sweep(
     finally:
         _SWEEP_PREPARED_MAP = None
         _SWEEP_ROLLUP = None
+        _SWEEP_PROFILE = None
     return rows
 
 

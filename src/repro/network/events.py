@@ -31,9 +31,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from time import perf_counter
 from typing import Callable, Generator, List, Optional, Tuple, Union
 
 from repro.network.clock import Clock
+from repro.obs.spans import current as _current_profiler
 
 
 class Waiter:
@@ -87,6 +89,7 @@ class EventScheduler:
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._cancelled: set = set()
+        self._prof = _current_profiler()
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` to run ``delay`` seconds from now.
@@ -119,19 +122,30 @@ class EventScheduler:
         """Hook: subclasses owning a clock sync it to event time."""
 
     def step(self) -> bool:
-        """Run the next event; returns False when nothing is pending."""
+        """Run the next event; returns False when nothing is pending.
+
+        Under a span profiler, the pre-callback heap machinery (pop,
+        cancellation filtering, clock sync) is metered as the flat
+        ``kernel.step`` span.  The callback itself is not wrapped: it
+        resumes processes that open and close their *own* spans (some
+        held across yields), which a stack span here would corrupt.
+        """
+        prof = self._prof
+        t0 = perf_counter() if prof is not None else 0.0
         while self._heap:
-            time, event_id, callback = heapq.heappop(self._heap)
+            etime, event_id, callback = heapq.heappop(self._heap)
             if event_id in self._cancelled:
                 self._cancelled.discard(event_id)
                 continue
-            if time < self.now - 1e-12:
+            if etime < self.now - 1e-12:
                 raise RuntimeError(
-                    f"event scheduled in the past: event time {time:.9f} "
+                    f"event scheduled in the past: event time {etime:.9f} "
                     f"precedes kernel time {self.now:.9f}"
                 )
-            self.now = max(self.now, time)
+            self.now = max(self.now, etime)
             self._clock_sync()
+            if prof is not None:
+                prof.add_flat("kernel.step", "kernel", perf_counter() - t0)
             callback()
             return True
         return False
@@ -207,7 +221,12 @@ def drive(process: Process, clock: Clock,
     events until the waiter fires (then sync the clock to event time),
     exactly like the pre-kernel blocking transport loops did.  A process
     driven this way produces byte-identical results to the old code.
+
+    Under a span profiler the direct clock-advance branch is metered as
+    the flat ``kernel.drive`` span (the Waiter branch's cost shows up
+    in ``kernel.step`` via the scheduler it runs).
     """
+    prof = _current_profiler()
     try:
         while True:
             item = process.send(None)
@@ -221,7 +240,11 @@ def drive(process: Process, clock: Clock,
                 # Match the legacy blocking downloads: event time ran
                 # ahead of the session clock mid-wait; snap it forward.
                 clock.now = scheduler.now
-            else:
+            elif prof is None:
                 clock.advance(item)
+            else:
+                t0 = perf_counter()
+                clock.advance(item)
+                prof.add_flat("kernel.drive", "kernel", perf_counter() - t0)
     except StopIteration as stop:
         return stop.value

@@ -31,6 +31,7 @@ from typing import Optional
 
 from repro.network.traces import NetworkTrace
 from repro.obs.metrics import get_registry
+from repro.obs.spans import current as _current_profiler
 
 MTU = 1500  # bytes
 BASE_RTT = 0.060  # 30 ms each way (§5)
@@ -101,6 +102,7 @@ class BottleneckLink:
         self._ctr_offered = registry.counter("link.packets_offered")
         self._ctr_dropped = registry.counter("link.packets_dropped")
         self._gauge_queue = registry.gauge("link.queue_bytes")
+        self._prof = _current_profiler()
 
     # ------------------------------------------------------------------
     def attach(self) -> None:
@@ -168,8 +170,21 @@ class BottleneckLink:
         """
         if packets < 0:
             raise ValueError("cannot offer a negative burst")
-        if self._shared:
-            return self._offer_round_shared(t, packets)
+        prof = self._prof
+        if prof is None:
+            if self._shared:
+                return self._offer_round_shared(t, packets)
+            return self._offer_round_single(t, packets)
+        frame = prof.push("link.offer", "link")
+        try:
+            if self._shared:
+                return self._offer_round_shared(t, packets)
+            return self._offer_round_single(t, packets)
+        finally:
+            prof.pop(frame)
+
+    def _offer_round_single(self, t: float, packets: int) -> RoundOutcome:
+        """Historical single-flow accounting (full rate over own RTT)."""
         service = self.available_bps(t)
         rtt = self._rtt_base(t) + self.queue_bytes * 8.0 / service
 
@@ -259,8 +274,12 @@ class BottleneckLink:
         """
         if self._shared or dt <= 0:
             return
+        prof = self._prof
+        frame = prof.push("link.drain", "link") if prof is not None else None
         service = self.available_bps(t)
         self.queue_bytes = max(0.0, self.queue_bytes - service * dt / 8.0)
+        if frame is not None:
+            prof.pop(frame)
 
     def reset(self) -> None:
         """Empty the queue (fresh connection on a quiet path)."""

@@ -22,6 +22,7 @@ from typing import Callable, Deque, Optional
 
 from repro.network.events import EventScheduler
 from repro.network.traces import NetworkTrace
+from repro.obs.spans import current as _current_profiler
 
 MTU = 1500
 PROPAGATION_ONE_WAY = 0.030  # seconds (§5: 30 ms last mile)
@@ -68,10 +69,21 @@ class PacketRouter:
         self.offered_packets = 0
         self.delivered_packets = 0
         self.dropped_packets = 0
+        self._prof = _current_profiler()
 
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> None:
         """A packet arrives from a sender."""
+        prof = self._prof
+        frame = prof.push("link.enqueue", "link") \
+            if prof is not None else None
+        try:
+            self._enqueue(packet)
+        finally:
+            if frame is not None:
+                prof.pop(frame)
+
+    def _enqueue(self, packet: Packet) -> None:
         self.offered_packets += 1
         if len(self._queue) >= self.queue_packets:
             self.dropped_packets += 1
@@ -109,6 +121,9 @@ class PacketRouter:
         service_time = packet.size * 8.0 / rate
 
         def finish() -> None:
+            prof = self._prof
+            frame = prof.push("link.service", "link") \
+                if prof is not None else None
             served = self._queue.popleft()
             self.delivered_packets += 1
             # Propagation to the client (stretched by any latency fault
@@ -122,5 +137,7 @@ class PacketRouter:
                 propagation, lambda: served.flow.on_delivered(served)
             )
             self._schedule_service()
+            if frame is not None:
+                prof.pop(frame)
 
         self.scheduler.schedule(service_time, finish)

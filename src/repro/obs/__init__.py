@@ -16,6 +16,7 @@ Usage::
     tracer.write_jsonl("trace.jsonl")
 """
 
+from repro.obs import spans
 from repro.obs.attribution import (
     CAUSE_DESCRIPTIONS,
     CAUSES,
@@ -43,6 +44,21 @@ from repro.obs.invariants import (
     audit_stream,
     format_report,
 )
+from repro.obs.diff import (
+    PerfDiffFormatError,
+    diff_files,
+    format_diff,
+    load_perf_file,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    build_ledger,
+    collapsed_stacks,
+    format_ledger,
+    load_ledger,
+    profile_trials,
+    write_ledger,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -62,6 +78,12 @@ from repro.obs.report import (
     build_report,
     render_markdown,
     report_to_json,
+)
+from repro.obs.spans import (
+    SPANS_VERSION,
+    SUBSYSTEMS,
+    SpanNode,
+    SpanProfiler,
 )
 from repro.obs.rollup import (
     TraceRollup,
@@ -113,6 +135,22 @@ __all__ = [
     "profiling_enabled",
     "timed",
     "timing_summary",
+    "SPANS_VERSION",
+    "SUBSYSTEMS",
+    "SpanNode",
+    "SpanProfiler",
+    "spans",
+    "LEDGER_SCHEMA_VERSION",
+    "build_ledger",
+    "collapsed_stacks",
+    "format_ledger",
+    "load_ledger",
+    "profile_trials",
+    "write_ledger",
+    "PerfDiffFormatError",
+    "diff_files",
+    "format_diff",
+    "load_perf_file",
     "build_report",
     "render_markdown",
     "report_to_json",

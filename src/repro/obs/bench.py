@@ -349,6 +349,77 @@ def _bench_rollup(tiny, seed: int) -> Dict[str, float]:
     }
 
 
+def _bench_spans(tiny, seed: int) -> Dict[str, float]:
+    """Spans-off fast path vs full span profiler on one seeded session.
+
+    ``wall_s`` times the session with no profiler installed — the
+    single global read every instrumentation site gates on — so bench
+    comparisons catch any PR that puts work on the spans-off path.
+    The same seeded session then reruns under a
+    :class:`~repro.obs.spans.SpanProfiler`, yielding the profiling
+    overhead, the per-subsystem self-time table that ``repro diff``
+    attributes regressions with, the deterministic tree hash, and an
+    ``audit_ok`` gate: the profiled run must compute byte-identical
+    session metrics (spans observe, never perturb).
+    """
+    from repro.abr import make_abr
+    from repro.network.traces import get_trace
+    from repro.obs import spans
+    from repro.player.session import SessionConfig, StreamingSession
+
+    def build(tracer):
+        abr = make_abr("abr_star", prepared=tiny)
+        config = SessionConfig(buffer_segments=3)
+        return StreamingSession(
+            tiny, abr, get_trace("verizon", seed=seed), config,
+            tracer=tracer,
+        )
+
+    tracer = Tracer()
+    session = build(tracer)
+    t0 = time.perf_counter()
+    metrics = session.run()
+    wall = max(time.perf_counter() - t0, 1e-9)
+    events = len(tracer)
+    trace_bytes = len(tracer.to_jsonl())
+
+    prof = spans.SpanProfiler()
+    prev = spans.install(prof)
+    try:
+        # Build inside the install window: components capture the
+        # ambient profiler at construction time.
+        session = build(Tracer())
+        t0 = time.perf_counter()
+        prof_metrics = session.run()
+        spans_wall = max(time.perf_counter() - t0, 1e-9)
+    finally:
+        prof.finalize()
+        spans.install(prev)
+    table = prof.subsystem_table()
+    return {
+        "kind": "macro",
+        "workload": tiny.name,
+        "wall_s": wall,
+        "sim_s": metrics.wall_duration,
+        "sim_s_per_wall_s": metrics.wall_duration / wall,
+        "events": events,
+        "events_per_s": events / wall,
+        "peak_trace_bytes": trace_bytes,
+        "segments": len(metrics.records),
+        "spans_wall_s": spans_wall,
+        "spans_overhead_pct": (spans_wall - wall) / wall * 100.0,
+        "spans": prof.total_spans,
+        "subsystems": {
+            name: entry["self_wall_s"] for name, entry in table.items()
+        },
+        "tree_hash": prof.tree_hash(),
+        "audit_ok": bool(
+            prof_metrics.summary() == metrics.summary()
+            and prof.total_spans > 0
+        ),
+    }
+
+
 def _bench_parallel_runner(tiny, seed: int) -> Dict[str, float]:
     """Serial vs parallel trial executor on the same experiment cell."""
     from repro.experiments.runner import ExperimentConfig, run_trials
@@ -440,6 +511,10 @@ def run_suite(
         # Null-tracer fast path vs streaming rollup observers: gates the
         # tracing-off cost and the fleet-observability overhead.
         benchmarks["macro.rollup"] = _bench_rollup(tiny, seed)
+        # Spans-off fast path vs full span profiler: gates the
+        # profiler-off cost and feeds `repro diff` its per-subsystem
+        # regression attribution.
+        benchmarks["macro.spans"] = _bench_spans(tiny, seed)
         benchmarks["macro.parallel_runner"] = _bench_parallel_runner(
             tiny, seed
         )

@@ -1,18 +1,26 @@
-"""Profiling hooks: wall-time histograms for hot paths.
+"""Profiling hooks: wall-time histograms + span-profiler integration.
 
 ``timed(name)`` works as a context manager *and* a decorator::
 
-    with timed("decode_segment"):
+    with timed("decode_segment", subsystem="qoe"):
         decode_segment(...)
 
-    @timed("abr.choose")
+    @timed("abr.choose", subsystem="abr")
     def choose(...): ...
 
 Timings go into ``timing.<name>`` histograms (seconds) in the default
-:class:`~repro.obs.metrics.MetricsRegistry`.  Profiling is **off** by
-default — a disabled ``timed`` block costs one global read — and uses
-wall time, so it feeds only the registry, never the (deterministic,
-simulation-clocked) trace.
+:class:`~repro.obs.metrics.MetricsRegistry`, and — when a
+:class:`~repro.obs.spans.SpanProfiler` is installed — each block also
+opens a span attributed to ``subsystem`` in the cross-layer span tree.
+Both hooks are **off** by default: a disabled ``timed`` block reads the
+single :mod:`repro.obs.spans` state global and returns.  Timings use
+wall time, so they feed only the registry/profiler, never the
+(deterministic, simulation-clocked) trace.
+
+``record_span=False`` keeps the histogram but skips the span — used
+where a blocking wrapper and its generator core would otherwise open
+the same span twice (``QuicConnection.download`` /
+``download_iter``).
 """
 
 from __future__ import annotations
@@ -21,70 +29,105 @@ import functools
 import time
 from typing import Optional
 
+from repro.obs import spans as _spans
 from repro.obs.metrics import MetricsRegistry, get_registry
-
-_ENABLED = False
 
 
 def enable_profiling(on: bool = True) -> None:
-    """Globally switch the ``timed`` hooks on or off."""
-    global _ENABLED
-    _ENABLED = bool(on)
+    """Globally switch the ``timed`` histogram hooks on or off."""
+    _spans.set_timers(on)
 
 
 def profiling_enabled() -> bool:
-    return _ENABLED
+    return _spans.timers_enabled()
 
 
 class timed:
     """Time a block or callable into a ``timing.<name>`` histogram."""
 
-    __slots__ = ("name", "registry", "_t0")
+    __slots__ = ("name", "registry", "subsystem", "record_span",
+                 "_t0", "_timing", "_frame", "_prof")
 
-    def __init__(self, name: str, registry: Optional[MetricsRegistry] = None):
+    def __init__(self, name: str, registry: Optional[MetricsRegistry] = None,
+                 subsystem: str = "other", record_span: bool = True):
         self.name = name
         self.registry = registry
+        self.subsystem = subsystem
+        self.record_span = record_span
         self._t0 = 0.0
+        self._timing = False
+        self._frame = None
+        self._prof = None
 
     # -- context manager -------------------------------------------------
     def __enter__(self) -> "timed":
-        if _ENABLED:
+        state = _spans._STATE
+        if state is None:
+            return self
+        timers, profiler = state
+        if profiler is not None and self.record_span:
+            self._prof = profiler
+            self._frame = profiler.push(self.name, self.subsystem)
+        if timers:
+            self._timing = True
             self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if _ENABLED:
+        if self._timing:
+            self._timing = False
             registry = self.registry if self.registry is not None \
                 else get_registry()
             registry.histogram(f"timing.{self.name}").observe(
                 time.perf_counter() - self._t0
             )
+        if self._frame is not None:
+            self._prof.pop(self._frame)
+            self._frame = None
+            self._prof = None
 
     # -- decorator -------------------------------------------------------
     def __call__(self, func):
         name, registry = self.name, self.registry
+        subsystem, record_span = self.subsystem, self.record_span
 
         @functools.wraps(func)
         def wrapper(*args, **kwargs):
-            if not _ENABLED:
+            state = _spans._STATE
+            if state is None:
                 return func(*args, **kwargs)
+            timers, profiler = state
+            frame = profiler.push(name, subsystem) \
+                if profiler is not None and record_span else None
             t0 = time.perf_counter()
             try:
                 return func(*args, **kwargs)
             finally:
-                reg = registry if registry is not None else get_registry()
-                reg.histogram(f"timing.{name}").observe(
-                    time.perf_counter() - t0
-                )
+                if timers:
+                    reg = registry if registry is not None else get_registry()
+                    reg.histogram(f"timing.{name}").observe(
+                        time.perf_counter() - t0
+                    )
+                if frame is not None:
+                    profiler.pop(frame)
 
         return wrapper
 
 
 def timing_summary(registry: Optional[MetricsRegistry] = None) -> str:
-    """Render the per-experiment timing histograms (``timing.*``)."""
+    """Render the ``timing.*`` histograms, hottest (by total) first."""
     registry = registry if registry is not None else get_registry()
-    text = registry.render(prefix="timing.")
-    lines = text.splitlines()
-    if len(lines) <= 1:
+    entries = registry.histograms(prefix="timing.")
+    if not entries:
         return "=== timing === (no samples; enable profiling)"
-    return "\n".join(["=== timing ==="] + lines[1:])
+    entries.sort(key=lambda item: (-item[1].total, item[0]))
+    width = max(len(name) for name, _ in entries)
+    lines = ["=== timing ==="]
+    for name, hist in entries:
+        lines.append(
+            f"{name:<{width}s}  total={hist.total:>10.6f}s"
+            f"  count={hist.count:>8d}"
+            f"  mean={hist.mean * 1e6:>10.1f}us"
+            f"  max={hist.percentile(100.0) * 1e6:>10.1f}us"
+        )
+    return "\n".join(lines)

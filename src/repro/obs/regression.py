@@ -60,6 +60,9 @@ class Comparison:
 
     threshold_pct: float
     rows: List[ComparisonRow] = field(default_factory=list)
+    #: Per-subsystem wall-time attribution of the delta, when both
+    #: payloads carry the ``macro.spans`` benchmark's subsystem table.
+    attribution: Optional[Dict[str, object]] = None
 
     @property
     def regressions(self) -> List[ComparisonRow]:
@@ -86,6 +89,7 @@ class Comparison:
             "threshold_pct": self.threshold_pct,
             "failed": self.failed,
             "counts": dict(sorted(counts.items())),
+            "attribution": self.attribution,
             "rows": [
                 {
                     "name": row.name,
@@ -97,6 +101,40 @@ class Comparison:
                 for row in self.rows
             ],
         }
+
+
+def span_attribution(
+    base_marks: Dict[str, Dict],
+    cur_marks: Dict[str, Dict],
+) -> Optional[Dict[str, object]]:
+    """Attribute a wall-time delta to subsystems via ``macro.spans``.
+
+    Both payloads must carry the ``macro.spans`` benchmark with its
+    flat ``subsystems`` table (``{name: self_wall_s}``); returns None
+    otherwise.  The ``top`` entry names the subsystem whose self time
+    grew the most — the prime suspect for any regression.
+    """
+    base = (base_marks.get("macro.spans") or {}).get("subsystems")
+    cur = (cur_marks.get("macro.spans") or {}).get("subsystems")
+    if not isinstance(base, dict) or not isinstance(cur, dict):
+        return None
+    table: Dict[str, Dict[str, float]] = {}
+    for name in sorted(set(base) | set(cur)):
+        b = float(base.get(name, 0.0))
+        c = float(cur.get(name, 0.0))
+        table[name] = {
+            "baseline_s": b,
+            "current_s": c,
+            "delta_s": c - b,
+        }
+    top = max(
+        table, key=lambda n: (table[n]["delta_s"], n), default=None
+    )
+    return {
+        "subsystems": table,
+        "top": top,
+        "top_delta_s": table[top]["delta_s"] if top else 0.0,
+    }
 
 
 def compare_payloads(
@@ -147,6 +185,7 @@ def compare_payloads(
             name=name, baseline_s=base_s, current_s=cur_s,
             delta_pct=delta, status=status,
         ))
+    comparison.attribution = span_attribution(base_marks, cur_marks)
     return comparison
 
 
@@ -170,6 +209,14 @@ def format_comparison(comparison: Comparison) -> str:
                 f"{row.name:28s} {row.baseline_s:8.4f}s -> "
                 f"{row.current_s:8.4f}s  {row.delta_pct:+7.1f}%  {marker}"
             )
+    attribution = comparison.attribution
+    if attribution and attribution.get("top"):
+        top = attribution["top"]
+        delta = float(attribution["top_delta_s"])
+        lines.append(
+            f"attribution: largest subsystem delta is {top} "
+            f"({delta:+.4f}s self time, macro.spans)"
+        )
     if comparison.failed:
         lines.append(
             f"FAIL: {len(comparison.regressions)} regression(s), "

@@ -17,6 +17,7 @@ from typing import IO, Callable, Iterable, Iterator, List, Optional, Union
 
 from repro.network.clock import Clock
 from repro.obs.events import TraceEvent, parse_jsonl
+from repro.obs.spans import current as _current_profiler
 
 DEFAULT_CAPACITY = 262_144
 
@@ -88,6 +89,7 @@ class Tracer:
         self._observers: List[Callable[[TraceEvent], None]] = list(
             observers or ()
         )
+        self._prof = _current_profiler()
 
     def add_observer(self, observer: Callable[[TraceEvent], None]) -> None:
         """Subscribe ``observer`` to every subsequently emitted event."""
@@ -109,6 +111,9 @@ class Tracer:
         Event-driven components (the packet backend) report the event
         loop's time, which runs ahead of the session clock mid-download.
         """
+        prof = self._prof
+        frame = prof.push("tracing.emit", "tracing") \
+            if prof is not None else None
         event = TraceEvent(seq=self._seq, t=t, type=type_, fields=fields)
         if self.validate:
             event.validate()
@@ -118,6 +123,8 @@ class Tracer:
         self._buffer.append(event)
         for observer in self._observers:
             observer(event)
+        if frame is not None:
+            prof.pop(frame)
         return event
 
     # ------------------------------------------------------------------
@@ -182,6 +189,7 @@ class StreamingTracer:
         self._observers: List[Callable[[TraceEvent], None]] = list(
             observers or ()
         )
+        self._prof = _current_profiler()
 
     def add_observer(self, observer: Callable[[TraceEvent], None]) -> None:
         """Subscribe ``observer`` to every subsequently emitted event."""
@@ -196,12 +204,17 @@ class StreamingTracer:
         return self.emit_at(t, type_, **fields)
 
     def emit_at(self, t: float, type_: str, **fields) -> TraceEvent:
+        prof = self._prof
+        frame = prof.push("tracing.emit", "tracing") \
+            if prof is not None else None
         event = TraceEvent(seq=self._seq, t=t, type=type_, fields=fields)
         if self.validate:
             event.validate()
         self._seq += 1
         for observer in self._observers:
             observer(event)
+        if frame is not None:
+            prof.pop(frame)
         return event
 
     @property

@@ -35,6 +35,7 @@ from repro.network.traces import NetworkTrace
 from repro.obs import events as ev
 from repro.obs.metrics import get_registry
 from repro.obs.profiling import timed
+from repro.obs.spans import current as _current_profiler
 from repro.obs.tracer import NULL_TRACER, SessionTracer
 from repro.player.buffer import PlaybackBuffer
 from repro.player.metrics import SegmentRecord, SessionMetrics
@@ -134,6 +135,13 @@ class StreamingSession:
             tracer = SessionTracer(tracer, session_id)
         self.tracer = tracer
         self.tracer.bind_clock(self.clock)
+        # Span profiler, captured at construction like the registry
+        # counters (install the profiler before building the stack).
+        # The session supplies the sim plane: spans opened from here on
+        # are timestamped on this session's clock.
+        self._prof = _current_profiler()
+        if self._prof is not None:
+            self._prof.bind_clock(self.clock)
         # The transport substrate comes from the backend registry; the
         # link/scheduler/router pass-throughs let multi-client runs share
         # one bottleneck (and one event loop) across sessions.
@@ -269,6 +277,10 @@ class StreamingSession:
         last_quality: Optional[int] = None
         start_clock = self.clock.now
 
+        prof = self._prof
+        s_frame = prof.push("session", "player") \
+            if prof is not None else None
+
         if self.tracer.enabled:
             extra = {}
             if self.spec_hash is not None:
@@ -302,6 +314,8 @@ class StreamingSession:
                     )
         yield from self._before_session()
         for index in range(video.num_segments):
+            seg_frame = prof.push("segment", "player") \
+                if prof is not None else None
             yield from self._before_segment(index)
             yield from self._wait_for_room()
             yield from self._opportunistic_repair()
@@ -315,6 +329,8 @@ class StreamingSession:
                 record.download_time,
             )
             yield from self._after_segment(index, record)
+            if seg_frame is not None:
+                prof.pop(seg_frame)
 
         # Drain the remaining buffer (playback finishes).
         self.buffer.drain(self.buffer.level_s)
@@ -344,6 +360,8 @@ class StreamingSession:
                 mean_score=metrics.mean_ssim,
                 segments=len(self._records),
             )
+        if s_frame is not None:
+            prof.pop(s_frame)
         return metrics
 
     # ------------------------------------------------------------------
@@ -357,6 +375,15 @@ class StreamingSession:
         mode = self.config.manifest_fetch
         if mode == "free":
             return
+        prof = self._prof
+        frame = prof.push("manifest", "player") if prof is not None else None
+        try:
+            yield from self._fetch_manifest(mode)
+        finally:
+            if frame is not None:
+                prof.pop(frame)
+
+    def _fetch_manifest(self, mode: str):
         total = self.manifest.metadata_bytes()
         if mode == "incremental":
             window = min(
@@ -532,6 +559,8 @@ class StreamingSession:
 
     def _idle(self, duration: float):
         """Pass ``duration`` seconds of playback, repairing losses."""
+        prof = self._prof
+        frame = prof.push("idle", "player") if prof is not None else None
         t0 = self.clock.now
         deadline = t0 + duration
         if (
@@ -545,9 +574,20 @@ class StreamingSession:
             yield from self.connection.idle_iter(remaining)
         elapsed = self.clock.now - t0
         self._record_stall(self.buffer.drain(elapsed))
+        if frame is not None:
+            prof.pop(frame)
 
     def _repair_losses(self, deadline: float):
         """Selective retransmission of lost bytes during idle time."""
+        prof = self._prof
+        frame = prof.push("repair", "player") if prof is not None else None
+        try:
+            yield from self._repair_losses_inner(deadline)
+        finally:
+            if frame is not None:
+                prof.pop(frame)
+
+    def _repair_losses_inner(self, deadline: float):
         playhead = self.buffer.media_time()
         t0 = self.clock.now
         for pending in list(self._pending_repairs):
@@ -605,7 +645,7 @@ class StreamingSession:
     def _decide(self, index: int, last_quality: Optional[int]):
         while True:
             ctx = self._context(index, last_quality)
-            with timed("abr.choose"):
+            with timed("abr.choose", subsystem="abr"):
                 decision = self.abr.choose(ctx)
             self._ctr_decisions.inc()
             if self.tracer.enabled:
@@ -652,11 +692,16 @@ class StreamingSession:
                     wire_bytes=total_wire,
                     attempt=restarts,
                 )
+            prof = self._prof
+            req_frame = prof.push("request", "player") \
+                if prof is not None else None
             try:
                 delivery = yield from self._fetch(
                     entry, decision, progress, retry
                 )
             except RetryBudgetExhausted as exc:
+                if req_frame is not None:
+                    prof.pop(req_frame)
                 wasted += exc.delivered_bytes
                 reconnect = getattr(self.connection, "reconnect", None)
                 if reconnect is not None:
@@ -711,6 +756,8 @@ class StreamingSession:
                 delivery = self._skipped_delivery(decision.quality, entry)
                 truncated = True
                 break
+            if req_frame is not None:
+                prof.pop(req_frame)
             if restart_to:
                 wasted += delivery.bytes_delivered
                 restarts += 1
@@ -972,7 +1019,7 @@ class StreamingSession:
         segment = self.prepared.video.segment(quality, index)
         dropped = [f for f in delivery.dropped_frames if f != 0]
         corruption = delivery.partial_frames
-        with timed("decode_segment"):
+        with timed("decode_segment", subsystem="qoe"):
             result = decode_segment(
                 segment,
                 params=self.prepared.params,

@@ -32,6 +32,7 @@ from repro.network.link import BottleneckLink
 from repro.obs import events as ev
 from repro.obs.metrics import get_registry
 from repro.obs.profiling import timed
+from repro.obs.spans import current as _current_profiler
 from repro.obs.tracer import NULL_TRACER
 from repro.transport.base import (
     ByteInterval,
@@ -99,9 +100,13 @@ class QuicConnection:
         self._ctr_delivered = registry.counter("transport.bytes_delivered")
         self._ctr_lost = registry.counter("transport.bytes_lost")
         self._ctr_retx = registry.counter("transport.bytes_retransmitted")
+        self._prof = _current_profiler()
 
     # ------------------------------------------------------------------
-    @timed("transport.download")
+    # record_span=False: download_iter (below) opens the
+    # "transport.download" span itself; the blocking wrapper keeps only
+    # the histogram so the two never double-nest.
+    @timed("transport.download", record_span=False)
     def download(
         self,
         nbytes: int,
@@ -152,6 +157,13 @@ class QuicConnection:
 
         self._maybe_idle_restart()
 
+        # Span covers the whole request (held across yields: its sim
+        # plane is the request's simulated duration).  Every exit path —
+        # the final return and each raise inside _fail — pops it.
+        prof = self._prof
+        dl_frame = prof.push("transport.download", "transport") \
+            if prof is not None else None
+
         # Application bytes carried per packet (headers cost the rest).
         payload = max(int(self.link.mtu * PAYLOAD_FRACTION), 1)
         start_time = self.clock.now
@@ -179,6 +191,8 @@ class QuicConnection:
             self._ctr_delivered.inc(delivered)
             self._ctr_lost.inc(lost_total)
             self._last_active = self.clock.now
+            if dl_frame is not None:
+                prof.pop(dl_frame)
             return TransportFault(
                 kind,
                 DownloadResult(
@@ -231,6 +245,8 @@ class QuicConnection:
                 new_packets = 1 if new_budget > 0 else 0
                 retx_packets = burst - new_packets
 
+            rnd_frame = prof.push("transport.round", "transport") \
+                if prof is not None else None
             outcome = self.link.offer_round(self.clock.now, burst)
             rounds += 1
             if deadline_s is not None:
@@ -336,6 +352,8 @@ class QuicConnection:
                 new_limit = progress(self.clock.now - start_time, sent_new)
                 if new_limit is not None:
                     limit = max(min(new_limit, limit), sent_new)
+            if rnd_frame is not None:
+                prof.pop(rnd_frame)
 
         self._last_active = self.clock.now
         lost_intervals = merge_intervals(lost_intervals)
@@ -347,6 +365,8 @@ class QuicConnection:
             sum(end - start for start, end in lost_intervals)
         )
         truncated = limit if limit < nbytes else None
+        if dl_frame is not None:
+            prof.pop(dl_frame)
         return DownloadResult(
             requested=limit,
             delivered=delivered,

@@ -26,7 +26,7 @@ def test_payload_schema(payload):
         "micro.decode_segment", "micro.abr_choose", "micro.transport_round",
         "macro.session.round", "macro.session.packet",
         "macro.multiclient", "macro.parallel_runner",
-        "macro.resilience", "macro.rollup",
+        "macro.resilience", "macro.rollup", "macro.spans",
     }
     for name, stats in payload["benchmarks"].items():
         assert stats["wall_s"] > 0, name
@@ -86,6 +86,23 @@ def test_rollup_stats(payload):
     assert stats["events"] > 0
     assert stats["segments"] == 6
     assert stats["stall_p99_s"] >= 0.0
+    assert stats["audit_ok"] is True
+
+
+def test_spans_stats(payload):
+    stats = payload["benchmarks"]["macro.spans"]
+    assert stats["kind"] == "macro"
+    # wall_s times the spans-off fast path; the profiled rerun is
+    # reported separately so regressions gate the profiler-off cost.
+    assert stats["spans_wall_s"] > 0
+    assert stats["spans_overhead_pct"] == pytest.approx(
+        (stats["spans_wall_s"] - stats["wall_s"]) / stats["wall_s"] * 100.0
+    )
+    assert stats["spans"] > 0
+    assert set(stats["subsystems"]) >= {"abr", "transport", "player"}
+    assert all(v >= 0.0 for v in stats["subsystems"].values())
+    assert len(stats["tree_hash"]) == 64
+    # The profiled run computed identical session metrics.
     assert stats["audit_ok"] is True
 
 
