@@ -16,6 +16,7 @@
     python -m repro profile bbb --out ledger.json --collapsed prof.folded
     python -m repro diff BENCH_main.json BENCH_pr.json --threshold 25
     python -m repro compare bbb --trace tmobile --buffer 1
+    python -m repro fleet --clients 1000 --shards 8 --workers 4
     python -m repro sweep --spec grid.json --workers 4 --out results.jsonl
     python -m repro sweep --abrs bola,abr_star --buffers 1,3 --dry-run
     python -m repro faults --profiles mixed --check-invariants
@@ -515,6 +516,100 @@ def _cmd_multiclient(args: argparse.Namespace) -> int:
         print(format_attribution(fleet.combined()))
     _maybe_print_metrics(args)
     return 1 if audit_failed else 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro.experiments.fleet import (
+        DEFAULT_GROUPS,
+        ClientGroup,
+        FleetSpec,
+        format_fleet_report,
+        run_fleet,
+    )
+
+    try:
+        if args.spec:
+            text = args.spec
+            if text.startswith("@"):
+                with open(text[1:], encoding="utf-8") as handle:
+                    text = handle.read()
+            spec = FleetSpec.from_json(text)
+        else:
+            groups = tuple(
+                ClientGroup(
+                    abr=group.abr,
+                    video=args.video,
+                    partially_reliable=group.partially_reliable,
+                    buffer_segments=args.buffer,
+                )
+                for group in DEFAULT_GROUPS
+            )
+            spec = FleetSpec(
+                clients=args.clients,
+                shards=args.shards,
+                groups=groups,
+                trace=args.trace,
+                seed=args.seed,
+                backend=args.backend,
+                queue_packets=args.queue,
+                sample_rate=args.sample,
+                sample_seed=args.sample_seed,
+            )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: invalid fleet spec: {exc}", file=sys.stderr)
+        return 2
+
+    profiler = prev = None
+    if args.profile:
+        from repro.obs import spans
+
+        profiler = spans.SpanProfiler()
+        prev = spans.install(profiler)
+    start = perf_counter()
+    try:
+        result = run_fleet(spec, workers=args.workers)
+    finally:
+        if profiler is not None:
+            profiler.finalize()
+            from repro.obs import spans
+
+            spans.install(prev)
+    wall_s = perf_counter() - start
+    print(
+        f"{result.clients} clients / {spec.shards} shards in "
+        f"{wall_s:.1f}s ({result.clients / wall_s:.0f} clients/s, "
+        f"workers={args.workers})",
+        file=sys.stderr,
+    )
+
+    report = result.report()
+    report["fleet_hash"] = result.fleet_hash()
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote fleet report to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_fleet_report(result))
+    if profiler is not None:
+        from repro.obs.ledger import build_ledger, format_ledger
+
+        ledger = build_ledger(
+            profiler, wall_s, label=f"fleet-{spec.spec_hash()}",
+            spec=spec.to_dict(), spec_hash=spec.spec_hash(),
+        )
+        print(format_ledger(ledger))
+    _maybe_print_metrics(args)
+    return 0
 
 
 # Figure registry: name -> (callable path, light kwargs).
@@ -1138,6 +1233,54 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the metrics registry after the run")
     _add_rollup_flags(p_mc)
 
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale sharded simulation: 1k+ clients across cells, "
+        "deterministic cross-shard merge",
+    )
+    p_fleet.add_argument("video", nargs="?", default="bbb",
+                         help="video every population group streams")
+    p_fleet.add_argument("--clients", type=int, default=1000,
+                         help="fleet population size")
+    p_fleet.add_argument("--shards", type=int, default=8,
+                         help="cells; each gets its own kernel, "
+                         "bottleneck, and trace weather")
+    p_fleet.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes across shards (the fleet report and "
+        "hash are byte-identical to --workers 1)",
+    )
+    p_fleet.add_argument("--trace", default="verizon",
+                         help="per-shard bottleneck trace (seeded "
+                         "seed+shard)")
+    p_fleet.add_argument("--buffer", type=int, default=3,
+                         help="playback buffer in segments (per client)")
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--queue", type=int, default=32,
+                         help="shared droptail queue in packets")
+    p_fleet.add_argument("--backend", choices=("round", "packet"),
+                         default="round")
+    p_fleet.add_argument(
+        "--spec", default=None, metavar="JSON|@FILE",
+        help="full FleetSpec JSON (weighted groups, faults, ...); "
+        "overrides the population flags",
+    )
+    p_fleet.add_argument(
+        "--sample", type=float, default=1.0, metavar="RATE",
+        help="per-session head-sampling rate for the rollup "
+        "(default 1.0; deterministic per session id)",
+    )
+    p_fleet.add_argument("--sample-seed", type=int, default=0,
+                         help="seed of the session-sampling hash")
+    p_fleet.add_argument(
+        "--profile", action="store_true",
+        help="fold per-shard span trees and print the perf ledger",
+    )
+    p_fleet.add_argument("--out", default=None, metavar="PATH",
+                         help="write the fleet report JSON to this file")
+    p_fleet.add_argument("--metrics", action="store_true",
+                         help="print the metrics registry after the run")
+
     p_figure = sub.add_parser(
         "figure", help="regenerate a paper table/figure"
     )
@@ -1266,6 +1409,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "compare": _cmd_compare,
     "multiclient": _cmd_multiclient,
+    "fleet": _cmd_fleet,
     "figure": _cmd_figure,
     "survey": _cmd_survey,
     "sweep": _cmd_sweep,

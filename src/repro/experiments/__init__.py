@@ -1,9 +1,25 @@
 """Experiment harness: runner, per-figure reproductions, user survey."""
 
+from repro.experiments.fleet import (
+    ClientGroup,
+    FleetResult,
+    FleetSpec,
+    expand_population,
+    format_fleet_report,
+    run_fleet,
+)
+from repro.experiments.multiclient import (
+    ClientSpec,
+    MulticlientResult,
+    Shard,
+    build_shard,
+    run_multiclient,
+)
 from repro.experiments.runner import (
     ExperimentConfig,
     TrialSummary,
     compare,
+    fork_map,
     run_single,
     run_trials,
 )
@@ -22,9 +38,21 @@ from repro.experiments.sweep import (
 from repro.experiments import figures
 
 __all__ = [
+    "ClientGroup",
+    "ClientSpec",
     "ExperimentConfig",
+    "FleetResult",
+    "FleetSpec",
+    "MulticlientResult",
+    "Shard",
     "TrialSummary",
+    "build_shard",
     "compare",
+    "expand_population",
+    "fork_map",
+    "format_fleet_report",
+    "run_fleet",
+    "run_multiclient",
     "run_single",
     "run_trials",
     "SweepSpec",

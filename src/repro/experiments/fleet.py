@@ -1,0 +1,603 @@
+"""Fleet-scale sharded simulation: thousands of clients across cells.
+
+VOXEL's testbed streams one client at a time, but the cross-layer
+claims only matter at scale — fleets of heterogeneous clients
+contending in many cells, where the stall *tails* (p99/p99.9) dominate
+user experience.  This module generalizes the multiclient substrate
+into a sharded fleet engine:
+
+* :class:`FleetSpec` — a frozen, hashable description of a fleet: a
+  weighted population of :class:`ClientGroup` slices expanded
+  deterministically from the seed, partitioned round-robin into
+  ``shards`` cells, each cell with its own bottleneck trace weather
+  (``seed + shard``) and fault plan.
+* :func:`run_fleet` — the per-shard executor.  Each worker builds one
+  cell with :func:`~repro.experiments.multiclient.build_shard`, runs
+  every session on its own :class:`~repro.network.events.SimKernel`,
+  and returns **mergeable artifacts only**: a serialized
+  :class:`~repro.obs.rollup.TraceRollup`, a serialized
+  :class:`~repro.obs.attribution.FleetAttributor`, Jain sufficient
+  statistics, per-group aggregate sums, and (under a profiler) a span
+  tree.  The parent folds them in shard order — never raw traces or
+  per-event history — so peak memory is O(shards), and the fold is
+  byte-identical at any worker count (``workers=1`` runs the exact
+  same worker function serially).
+* :meth:`FleetResult.report` / :meth:`FleetResult.fleet_hash` — the
+  deterministic fleet report (QoE distribution percentiles, stall
+  tails from reservoir histograms, per-shard and fleet-wide Jain's
+  index, causal attribution partition) and its canonical-JSON content
+  hash, the anchor the worker-count byte-identity claim is pinned to.
+
+Determinism by construction: the population expansion hashes
+``(seed, client index)``, shard membership is a pure function of the
+client index, session ids are globally unique (so hash-keyed rollup
+sampling is worker-partition invariant), and every per-shard artifact
+is folded in shard order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_right
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.multiclient import ClientSpec, run_multiclient
+from repro.experiments.runner import fork_map
+from repro.network.traces import get_trace
+from repro.obs import spans
+from repro.obs.attribution import FleetAttributor, format_attribution
+from repro.obs.metrics import scoped_registry
+from repro.obs.rollup import TraceRollup, format_rollup
+from repro.prep.prepare import PreparedVideo, get_prepared
+
+FLEET_REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ClientGroup:
+    """One weighted slice of a fleet population.
+
+    A group is the declarative form of a
+    :class:`~repro.experiments.multiclient.ClientSpec` plus a sampling
+    ``weight``: client *i* of the fleet draws its group from the
+    weight distribution at the point ``sha256(seed, i)`` lands, so the
+    realized mix approximates the weights and is a pure function of
+    the spec.
+    """
+
+    abr: str = "bola"
+    video: str = "bbb"
+    partially_reliable: bool = True
+    buffer_segments: int = 3
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.weight > 0:
+            raise ValueError(
+                f"group weight must be > 0, got {self.weight}"
+            )
+        if self.buffer_segments < 1:
+            raise ValueError("buffer_segments must be >= 1")
+
+    def label(self) -> str:
+        flavour = "Q*" if self.partially_reliable else "Q"
+        return f"{self.abr}/{flavour}/{self.video}/buf{self.buffer_segments}"
+
+    def to_client_spec(self) -> ClientSpec:
+        return ClientSpec(
+            abr=self.abr,
+            video=self.video,
+            partially_reliable=self.partially_reliable,
+            buffer_segments=self.buffer_segments,
+        )
+
+    def to_dict(self) -> Dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClientGroup":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ClientGroup field(s) {unknown}; known fields: "
+                f"{', '.join(sorted(known))}"
+            )
+        return cls(**data)
+
+
+#: The default mixed fleet: both ABRs, both transport flavours, equal
+#: weight (the multiclient default cycle, expressed as a population).
+DEFAULT_GROUPS = (
+    ClientGroup(abr="abr_star", partially_reliable=True),
+    ClientGroup(abr="bola", partially_reliable=True),
+    ClientGroup(abr="abr_star", partially_reliable=False),
+    ClientGroup(abr="bola", partially_reliable=False),
+)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One frozen, hashable fleet configuration.
+
+    Mirrors the :class:`~repro.core.spec.ScenarioSpec` contract:
+    frozen, JSON-round-trippable (:meth:`to_dict`/:meth:`from_dict`
+    with unknown keys rejected), and carrying a stable canonical-JSON
+    content hash (:meth:`spec_hash`) independent of process, platform,
+    and ``PYTHONHASHSEED``.
+    """
+
+    clients: int = 1000
+    shards: int = 8
+    groups: Tuple[ClientGroup, ...] = DEFAULT_GROUPS
+    trace: str = "verizon"
+    seed: int = 0
+    backend: str = "round"
+    queue_packets: int = 32
+    base_rtt: float = 0.060
+    faults: Optional[Dict] = None
+    request_timeout_s: Optional[float] = None
+    retry_budget: int = 3
+    retry_backoff_s: float = 0.5
+    sample_rate: float = 1.0
+    sample_seed: int = 0
+
+    def __post_init__(self):
+        if isinstance(self.groups, list):
+            object.__setattr__(self, "groups", tuple(self.groups))
+        if self.clients < 1:
+            raise ValueError("a fleet needs at least one client")
+        if self.shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        if self.shards > self.clients:
+            raise ValueError(
+                f"{self.shards} shards for {self.clients} clients: "
+                "every shard must hold at least one client"
+            )
+        if not self.groups:
+            raise ValueError("a fleet needs at least one client group")
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError(
+                f"sample rate {self.sample_rate} out of [0, 1]"
+            )
+
+    # ------------------------------------------------------------------
+    #: Fields omitted from the canonical JSON (and the hash) at their
+    #: defaults, so fleets that don't use them keep stable hashes as
+    #: new knobs are added.
+    _HASH_NEUTRAL_DEFAULTS = {
+        "faults": None,
+        "request_timeout_s": None,
+        "retry_budget": 3,
+        "retry_backoff_s": 0.5,
+    }
+
+    def to_dict(self) -> Dict:
+        """Plain JSON-ready dict (groups serialized as objects)."""
+        data: Dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in self._HASH_NEUTRAL_DEFAULTS:
+                if value == self._HASH_NEUTRAL_DEFAULTS[f.name]:
+                    continue
+            if f.name == "groups":
+                value = [group.to_dict() for group in value]
+            data[f.name] = value
+        return data
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FleetSpec":
+        """Build a spec from a mapping, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"fleet spec must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown FleetSpec field(s) {unknown}; known fields: "
+                f"{', '.join(sorted(known))}"
+            )
+        kwargs = dict(data)
+        if "groups" in kwargs:
+            kwargs["groups"] = tuple(
+                ClientGroup.from_dict(group) for group in kwargs["groups"]
+            )
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetSpec":
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Stable 12-hex-digit content hash of the canonical JSON."""
+        digest = hashlib.sha256(self.to_json().encode("utf-8"))
+        return digest.hexdigest()[:12]
+
+    def __hash__(self) -> int:  # faults is a dict; hash by content
+        return hash(self.spec_hash())
+
+    def with_(self, **overrides) -> "FleetSpec":
+        """A copy with fields replaced (frozen-dataclass convenience)."""
+        return replace(self, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic population expansion and shard assignment.
+# ---------------------------------------------------------------------------
+def _client_point(seed: int, index: int) -> float:
+    """Client *i*'s draw in [0, 1): a pure function of (seed, index).
+
+    Same construction as the rollup's hash-keyed session sampling —
+    sha256, never Python's randomized ``hash()`` — so the population
+    is identical across processes, platforms, and worker counts.
+    """
+    digest = hashlib.sha256(f"{seed}:client:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def group_assignment(spec: FleetSpec) -> List[int]:
+    """Group index for every client, expanded from the seed.
+
+    Client *i* picks the group whose cumulative-weight interval
+    contains ``_client_point(seed, i) * total_weight``.  A single
+    group (or one carrying all the weight) degenerates to a
+    homogeneous fleet.
+    """
+    cumulative: List[float] = []
+    total = 0.0
+    for group in spec.groups:
+        total += group.weight
+        cumulative.append(total)
+    out = []
+    last = len(spec.groups) - 1
+    for index in range(spec.clients):
+        point = _client_point(spec.seed, index) * total
+        out.append(min(bisect_right(cumulative, point), last))
+    return out
+
+
+def expand_population(spec: FleetSpec) -> List[ClientSpec]:
+    """The full fleet population as concrete per-client specs."""
+    return [
+        spec.groups[g].to_client_spec() for g in group_assignment(spec)
+    ]
+
+
+def shard_clients(spec: FleetSpec, shard: int) -> List[int]:
+    """Global client indices assigned to one shard (round-robin).
+
+    Round-robin on the global index spreads every group across every
+    shard and keeps membership a pure function of the index — no
+    shard ever depends on another shard's contents.
+    """
+    if not 0 <= shard < spec.shards:
+        raise ValueError(f"shard {shard} out of range [0, {spec.shards})")
+    return list(range(shard, spec.clients, spec.shards))
+
+
+def fleet_session_id(spec: FleetSpec, index: int, group: ClientGroup) -> str:
+    """Globally unique session id for client ``index``.
+
+    Uniqueness across shards matters: the rollup's head-sampling is a
+    hash of ``(sample_seed, session_id)``, so reused per-shard ids
+    would correlate sampling decisions between cells.
+    """
+    shard = index % spec.shards
+    flavour = "Qstar" if group.partially_reliable else "Q"
+    return f"s{shard}-f{index}-{group.abr}-{flavour}"
+
+
+# ---------------------------------------------------------------------------
+# The per-shard executor.
+# ---------------------------------------------------------------------------
+#: Fork-inherited worker inputs (the runner's _PARALLEL_* pattern):
+#: children snapshot these at pool creation, so a worker's inputs are
+#: identical to an in-process call.
+_FLEET_SPEC: Optional[FleetSpec] = None
+_FLEET_PREPARED: Optional[Dict[str, PreparedVideo]] = None
+_FLEET_PROFILE: bool = False
+_FLEET_ROWS: bool = False
+
+
+def _run_shard(
+    spec: FleetSpec,
+    shard: int,
+    prepared_map: Optional[Dict[str, PreparedVideo]],
+    keep_rows: bool,
+) -> Dict:
+    """Run one cell; return mergeable artifacts only (never traces)."""
+    indices = shard_clients(spec, shard)
+    assignment = group_assignment(spec)
+    groups = [spec.groups[assignment[i]] for i in indices]
+    client_specs = [group.to_client_spec() for group in groups]
+    session_ids = [
+        fleet_session_id(spec, i, group)
+        for i, group in zip(indices, groups)
+    ]
+    rollup = TraceRollup(
+        sample_rate=spec.sample_rate, sample_seed=spec.sample_seed
+    )
+    attributor = FleetAttributor()
+    result = run_multiclient(
+        client_specs,
+        trace=get_trace(spec.trace, seed=spec.seed + shard),
+        seed=spec.seed + shard,
+        queue_packets=spec.queue_packets,
+        base_rtt=spec.base_rtt,
+        backend=spec.backend,
+        prepared_map=prepared_map,
+        faults=spec.faults,
+        request_timeout_s=spec.request_timeout_s,
+        retry_budget=spec.retry_budget,
+        retry_backoff_s=spec.retry_backoff_s,
+        observers=[rollup.feed, attributor.feed],
+        session_ids=session_ids,
+    )
+    rates = [client.throughput_mbps for client in result.clients]
+    group_stats: Dict[str, Dict[str, float]] = {}
+    for group, client in zip(groups, result.clients):
+        stats = group_stats.setdefault(group.label(), {
+            "clients": 0.0,
+            "ssim_sum": 0.0,
+            "bitrate_sum": 0.0,
+            "stall_sum": 0.0,
+            "rate_sum": 0.0,
+        })
+        metrics = client.metrics
+        stats["clients"] += 1.0
+        stats["ssim_sum"] += metrics.mean_ssim
+        stats["bitrate_sum"] += metrics.avg_bitrate_kbps
+        stats["stall_sum"] += metrics.total_stall
+        stats["rate_sum"] += client.throughput_mbps
+    out = {
+        "shard": shard,
+        "clients": len(client_specs),
+        "trace_seed": spec.seed + shard,
+        "jain": result.jain_index,
+        # Jain sufficient statistics: (n, sum r, sum r^2) merge across
+        # shards without retaining per-client rates in the parent.
+        "rates": [
+            float(len(rates)),
+            float(sum(rates)),
+            float(sum(r * r for r in rates)),
+        ],
+        "groups": group_stats,
+        "rollup": rollup.to_dict(),
+        "attribution": attributor.to_dict(),
+    }
+    if keep_rows:
+        out["rows"] = result.rows()
+    return out
+
+
+def _shard_worker(shard: int) -> Dict:
+    """Process-pool entry point for one shard.
+
+    Runs inside a throwaway metrics scope so serial and forked
+    execution leave the parent's process-wide registry in the same
+    state; under ``--profile`` the shard records its own span tree,
+    returned for the parent's in-order fold.
+    """
+    spec = _FLEET_SPEC
+    profile = _FLEET_PROFILE
+    prof = spans.SpanProfiler() if profile else None
+    prev = spans.install(prof) if profile else None
+    try:
+        with scoped_registry(merge=False):
+            out = _run_shard(spec, shard, _FLEET_PREPARED, _FLEET_ROWS)
+    finally:
+        if profile:
+            prof.finalize()
+            spans.install(prev)
+    if profile:
+        out["spans"] = prof.to_dict()
+    return out
+
+
+@dataclass
+class FleetResult:
+    """The merged outcome of a fleet run (O(shards) state)."""
+
+    spec: FleetSpec
+    shards: List[Dict]                  # per-shard summary rows
+    rollup: TraceRollup                 # fleet-wide distributions
+    attribution: FleetAttributor        # fleet-wide causal partition
+    groups: Dict[str, Dict[str, float]]  # per-group aggregate sums
+    clients: int
+    jain_index: float                   # fleet-wide, from merged stats
+    rows: Optional[List[Dict]] = None   # per-client rows (keep_rows)
+
+    def report(self) -> Dict:
+        """The deterministic fleet report (wall-clock free).
+
+        Everything here is a pure function of the spec: QoE and stall
+        distributions (reservoir percentiles), per-shard and
+        fleet-wide Jain's index, the attribution partition, and
+        per-group means.  :meth:`fleet_hash` hashes this dict, so any
+        nondeterminism anywhere in the stack shows up as a hash
+        mismatch between worker counts.
+        """
+        group_rows = {}
+        for label in sorted(self.groups):
+            stats = self.groups[label]
+            count = stats["clients"] or 1.0
+            group_rows[label] = {
+                "clients": int(stats["clients"]),
+                "mean_ssim": stats["ssim_sum"] / count,
+                "mean_bitrate_kbps": stats["bitrate_sum"] / count,
+                "mean_stall_s": stats["stall_sum"] / count,
+                "mean_throughput_mbps": stats["rate_sum"] / count,
+            }
+        return {
+            "fleet_version": FLEET_REPORT_VERSION,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec.spec_hash(),
+            "clients": self.clients,
+            "shards": self.shards,
+            "jain": {
+                "fleet": self.jain_index,
+                "per_shard": [row["jain"] for row in self.shards],
+            },
+            "rollup": self.rollup.summary(),
+            "attribution": self.attribution.combined().to_dict(),
+            "groups": group_rows,
+        }
+
+    def fleet_hash(self) -> str:
+        """16-hex content hash of the canonical report JSON."""
+        payload = json.dumps(
+            self.report(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def run_fleet(
+    spec: FleetSpec,
+    workers: int = 1,
+    prepared_map: Optional[Dict[str, PreparedVideo]] = None,
+    keep_rows: bool = False,
+) -> FleetResult:
+    """Run a fleet: shards fan out over workers, artifacts fold back.
+
+    Args:
+        spec: the frozen fleet description.
+        workers: worker processes; shards are the unit of work.  Any K
+            produces a byte-identical :meth:`FleetResult.report` (and
+            therefore :meth:`~FleetResult.fleet_hash`) to ``workers=1``
+            — the serial path runs the exact same shard worker, and
+            artifacts fold in shard order either way.
+        prepared_map: video name -> PreparedVideo for non-catalog
+            videos (fixtures, benchmarks); catalog videos are
+            pre-warmed into the process cache before forking so
+            children inherit them by memory snapshot.
+        keep_rows: retain per-client result rows on the result.  Off
+            by default: rows are O(clients), and the fleet report
+            doesn't need them.
+
+    An ambient span profiler (``spans.install``) means "profile every
+    shard": each shard records its own tree and the parent folds them
+    in shard order, byte-identical at any worker count.
+    """
+    global _FLEET_SPEC, _FLEET_PREPARED, _FLEET_PROFILE, _FLEET_ROWS
+    parent_prof = spans.current()
+    profile = parent_prof is not None
+    # Pre-warm every catalog video the population needs: forked workers
+    # inherit the cache, and the serial path skips repeated prepares.
+    names = {group.video for group in spec.groups}
+    if prepared_map:
+        names -= set(prepared_map)
+    for name in sorted(names):
+        get_prepared(name)
+
+    _FLEET_SPEC = spec
+    _FLEET_PREPARED = prepared_map
+    _FLEET_PROFILE = profile
+    _FLEET_ROWS = keep_rows
+    try:
+        shard_results = fork_map(
+            _shard_worker, list(range(spec.shards)), workers
+        )
+    finally:
+        _FLEET_SPEC = None
+        _FLEET_PREPARED = None
+        _FLEET_PROFILE = False
+        _FLEET_ROWS = False
+
+    # Fold in shard order — the other half of the determinism anchor.
+    rollup: Optional[TraceRollup] = None
+    attribution = FleetAttributor()
+    shard_rows: List[Dict] = []
+    groups: Dict[str, Dict[str, float]] = {}
+    rate_n = 0.0
+    rate_sum = 0.0
+    rate_sq = 0.0
+    total_clients = 0
+    rows: Optional[List[Dict]] = [] if keep_rows else None
+    for result in shard_results:
+        if rollup is None:
+            rollup = TraceRollup.from_dict(result["rollup"])
+        else:
+            rollup.merge(TraceRollup.from_dict(result["rollup"]))
+        attribution.merge(FleetAttributor.from_dict(result["attribution"]))
+        if parent_prof is not None and "spans" in result:
+            parent_prof.merge_dict(result["spans"])
+        shard_rows.append({
+            "shard": result["shard"],
+            "clients": result["clients"],
+            "trace_seed": result["trace_seed"],
+            "jain": result["jain"],
+        })
+        n, total, square = result["rates"]
+        rate_n += n
+        rate_sum += total
+        rate_sq += square
+        total_clients += result["clients"]
+        for label, stats in result["groups"].items():
+            merged = groups.setdefault(
+                label, {key: 0.0 for key in stats}
+            )
+            for key, value in stats.items():
+                merged[key] += value
+        if rows is not None:
+            rows.extend(result["rows"])
+    if rate_n and rate_sq:
+        jain = rate_sum * rate_sum / (rate_n * rate_sq)
+    else:
+        jain = 1.0
+    return FleetResult(
+        spec=spec,
+        shards=shard_rows,
+        rollup=rollup if rollup is not None else TraceRollup(
+            sample_rate=spec.sample_rate, sample_seed=spec.sample_seed
+        ),
+        attribution=attribution,
+        groups=groups,
+        clients=total_clients,
+        jain_index=jain,
+        rows=rows,
+    )
+
+
+def format_fleet_report(result: FleetResult) -> str:
+    """Human-readable fleet report."""
+    report = result.report()
+    spec = result.spec
+    lines = [
+        f"=== fleet: {report['clients']} clients / "
+        f"{len(report['shards'])} shards "
+        f"(spec {report['spec_hash']}) ===",
+        f"trace {spec.trace} seed {spec.seed} backend {spec.backend} "
+        f"sample {spec.sample_rate:g}",
+        f"{'shard':>5s} {'clients':>8s} {'seed':>6s} {'jain':>7s}",
+    ]
+    for row in report["shards"]:
+        lines.append(
+            f"{row['shard']:5d} {row['clients']:8d} "
+            f"{row['trace_seed']:6d} {row['jain']:7.4f}"
+        )
+    lines.append(f"fleet Jain's index: {report['jain']['fleet']:.4f}")
+    lines.append("")
+    for label, stats in report["groups"].items():
+        lines.append(
+            f"group {label:28s} n={stats['clients']:<5d} "
+            f"ssim={stats['mean_ssim']:.3f} "
+            f"kbps={stats['mean_bitrate_kbps']:.0f} "
+            f"stall={stats['mean_stall_s']:.2f}s "
+            f"mbps={stats['mean_throughput_mbps']:.2f}"
+        )
+    lines.append("")
+    lines.append(format_rollup(report["rollup"]))
+    lines.append(format_attribution(result.attribution.combined()))
+    lines.append(f"fleet hash {result.fleet_hash()}")
+    return "\n".join(lines)

@@ -47,9 +47,13 @@ class ClientSpec:
     buffer_segments: int = 3
     abr_kwargs: Dict = field(default_factory=dict)
 
-    def label(self) -> str:
+    def label(self, index: Optional[int] = None) -> str:
+        """Human-readable tag; pass the client index to disambiguate
+        clients that share an ABR and transport flavour (table rows
+        would otherwise collide — session ids stay unchanged)."""
         flavour = "Q*" if self.partially_reliable else "Q"
-        return f"{self.abr}/{flavour}"
+        base = f"{self.abr}/{flavour}"
+        return base if index is None else f"{base}#{index}"
 
 
 @dataclass
@@ -90,11 +94,11 @@ class MulticlientResult:
 
     def rows(self) -> List[Dict[str, float]]:
         out = []
-        for client in self.clients:
+        for i, client in enumerate(self.clients):
             m = client.metrics
             out.append({
                 "session_id": client.session_id,
-                "label": client.spec.label(),
+                "label": client.spec.label(i),
                 "video": client.spec.video,
                 "mean_ssim": m.mean_ssim,
                 "bitrate_kbps": m.avg_bitrate_kbps,
@@ -115,6 +119,193 @@ DEFAULT_SPECS = (
 )
 
 
+def default_session_ids(specs: Sequence[ClientSpec]) -> List[str]:
+    """The historical per-client session ids: index, ABR, flavour."""
+    return [
+        f"c{i}-{spec.abr}-{'Qstar' if spec.partially_reliable else 'Q'}"
+        for i, spec in enumerate(specs)
+    ]
+
+
+@dataclass
+class Shard:
+    """One assembled simulation cell, ready to run.
+
+    A shard is a kernel, one shared bottleneck (fluid link or packet
+    router), and N client sessions built against it — the unit a fleet
+    executor hands to a worker process.  :meth:`run` drives every
+    session to completion and returns their metrics in client order.
+    """
+
+    kernel: SimKernel
+    sessions: List[StreamingSession]
+    session_ids: List[str]
+    specs: List[ClientSpec]
+    trace_name: str
+    backend: str
+    link: Optional[object] = None
+    router: Optional[object] = None
+    tracer: Optional[object] = None
+
+    @property
+    def bottleneck(self):
+        """The shared contention point, whichever backend built it."""
+        return self.link if self.link is not None else self.router
+
+    def run(self) -> List[SessionMetrics]:
+        """Drive all sessions concurrently; metrics in client order.
+
+        Spawn order is the determinism anchor: simultaneous events
+        tie-break by spawn sequence, so a fixed spec list fixes the
+        interleave.  Spawning and the completion wait are batched
+        (``spawn_many`` / ``run_until_all``) so a shard with hundreds
+        of sessions costs O(1) bookkeeping per event, byte-identical
+        to the unbatched loop.
+        """
+        waiters = self.kernel.spawn_many(
+            session.steps() for session in self.sessions
+        )
+        self.kernel.run_until_all(waiters)
+        if self.tracer is not None and self.tracer.enabled:
+            source = self.bottleneck
+            self.tracer.emit(
+                ev.LINK_STATS,
+                offered_packets=source.offered_packets,
+                dropped_packets=source.dropped_packets,
+                delivered_packets=source.delivered_packets,
+                flows=len(self.sessions),
+            )
+        return [w.value for w in waiters]
+
+
+def _run_fault_plan(specs, trace, seed, faults, prepared_map):
+    """Run-level fault plan over the longest client's playback window
+    (mirrors StackBuilder.fault_plan); None when no faults configured."""
+    if not faults:
+        return None
+    from repro.faults import FaultSpec, build_plan
+    from repro.prep.prepare import get_prepared
+
+    def _duration(video: str) -> float:
+        if prepared_map is not None and video in prepared_map:
+            return prepared_map[video].video.duration
+        return get_prepared(video).video.duration
+
+    horizon = min(
+        trace.duration, max(_duration(s.video) for s in specs)
+    )
+    return build_plan(
+        FaultSpec.from_dict(faults), horizon=horizon, scenario_seed=seed
+    )
+
+
+def build_shard(
+    specs: Sequence[ClientSpec],
+    trace: NetworkTrace,
+    *,
+    trace_name: str = "custom",
+    seed: int = 0,
+    queue_packets: int = 32,
+    base_rtt: float = 0.060,
+    backend: str = "round",
+    tracer=None,
+    prepared_map: Optional[Dict[str, PreparedVideo]] = None,
+    faults: Optional[Dict] = None,
+    request_timeout_s: Optional[float] = None,
+    retry_budget: int = 3,
+    retry_backoff_s: float = 0.5,
+    session_ids: Optional[Sequence[str]] = None,
+) -> Shard:
+    """Assemble one shared-substrate cell: kernel, bottleneck, sessions.
+
+    This is the substrate assembly historically inlined in
+    :func:`run_multiclient`, extracted so the fleet executor can build
+    many cells — each with its own kernel, trace weather, and fault
+    plan — from one code path.  ``session_ids`` overrides the default
+    ``c{i}-...`` ids (fleet shards need globally unique ids so the
+    hash-keyed rollup sampling stays a pure function of the id).
+    """
+    if not specs:
+        raise ValueError("a multi-client run needs at least one client")
+    run_plan = _run_fault_plan(specs, trace, seed, faults, prepared_map)
+    if run_plan is not None:
+        from repro.faults import FaultedTrace
+
+        trace = FaultedTrace(trace, run_plan)
+
+    kernel = SimKernel()
+    shared_link = None
+    shared_router = None
+    # The shared bottleneck all clients contend for, from the link-model
+    # registry: the round backend shares one fluid BottleneckLink, the
+    # packet backend one droptail router on the kernel's event loop.
+    if backend == "round":
+        shared_link = LINK_MODELS.get("droptail")(
+            trace,
+            queue_packets=queue_packets,
+            base_rtt=base_rtt,
+        )
+        if run_plan is not None:
+            shared_link.fault_plan = run_plan
+    elif backend == "packet":
+        shared_router = LINK_MODELS.get("packet-router")(
+            kernel, trace, queue_packets=queue_packets,
+            propagation_s=base_rtt / 2.0,
+        )
+        if run_plan is not None:
+            shared_router.fault_plan = run_plan
+    else:
+        raise ValueError(f"unknown multiclient backend {backend!r}")
+
+    if session_ids is None:
+        session_ids = default_session_ids(specs)
+    elif len(session_ids) != len(specs):
+        raise ValueError(
+            f"{len(session_ids)} session ids for {len(specs)} clients"
+        )
+
+    sessions: List[StreamingSession] = []
+    for spec, session_id in zip(specs, session_ids):
+        scenario = ScenarioSpec(
+            video=spec.video,
+            abr=spec.abr,
+            abr_kwargs=dict(spec.abr_kwargs),
+            trace=trace_name,
+            seed=seed,
+            reliability=reliability_mode(spec.partially_reliable),
+            buffer_segments=spec.buffer_segments,
+            queue_packets=queue_packets,
+            base_rtt=base_rtt,
+            backend=backend,
+            faults=faults,
+            request_timeout_s=request_timeout_s,
+            retry_budget=retry_budget,
+            retry_backoff_s=retry_backoff_s,
+        )
+        sessions.append(
+            StackBuilder(scenario, prepared_map=prepared_map).build(
+                network_trace=trace,
+                link=shared_link,
+                tracer=tracer,
+                clock=kernel.clock,
+                session_id=session_id,
+                scheduler=kernel if backend == "packet" else None,
+                router=shared_router,
+            )
+        )
+    return Shard(
+        kernel=kernel,
+        sessions=sessions,
+        session_ids=list(session_ids),
+        specs=list(specs),
+        trace_name=trace_name,
+        backend=backend,
+        link=shared_link,
+        router=shared_router,
+        tracer=tracer,
+    )
+
+
 def run_multiclient(
     specs: Sequence[ClientSpec] = DEFAULT_SPECS,
     trace: Union[str, NetworkTrace] = "verizon",
@@ -129,6 +320,7 @@ def run_multiclient(
     retry_budget: int = 3,
     retry_backoff_s: float = 0.5,
     observers: Optional[Sequence] = None,
+    session_ids: Optional[Sequence[str]] = None,
 ) -> MulticlientResult:
     """Run N concurrent streaming sessions on one shared bottleneck.
 
@@ -157,12 +349,12 @@ def run_multiclient(
             otherwise a buffer-less
             :class:`~repro.obs.tracer.StreamingTracer` is created, so
             fleet aggregation never retains per-event history.
+        session_ids: override the default ``c{i}-...`` per-client ids
+            (fleet shards pass globally unique ids).
 
     Returns:
         Per-client metrics plus Jain's fairness index.
     """
-    if not specs:
-        raise ValueError("a multi-client run needs at least one client")
     if observers:
         if tracer is None:
             from repro.obs.tracer import StreamingTracer
@@ -176,104 +368,26 @@ def run_multiclient(
     else:
         trace_name = getattr(trace, "name", "custom")
 
-    run_plan = None
-    if faults:
-        from repro.faults import FaultSpec, FaultedTrace, build_plan
-        from repro.prep.prepare import get_prepared
-
-        def _duration(video: str) -> float:
-            if prepared_map is not None and video in prepared_map:
-                return prepared_map[video].video.duration
-            return get_prepared(video).video.duration
-
-        # Place seeded faults across the longest client's playback
-        # window (mirrors StackBuilder.fault_plan); with homogeneous
-        # videos the run-level plan coincides with every session's.
-        horizon = min(
-            trace.duration, max(_duration(s.video) for s in specs)
-        )
-        run_plan = build_plan(
-            FaultSpec.from_dict(faults),
-            horizon=horizon,
-            scenario_seed=seed,
-        )
-    if run_plan is not None:
-        trace = FaultedTrace(trace, run_plan)
-
-    kernel = SimKernel()
-    shared_link = None
-    shared_router = None
-    # The shared bottleneck all clients contend for, from the link-model
-    # registry: the round backend shares one fluid BottleneckLink, the
-    # packet backend one droptail router on the kernel's event loop.
-    if backend == "round":
-        shared_link = LINK_MODELS.get("droptail")(
-            trace,
-            queue_packets=queue_packets,
-            base_rtt=base_rtt,
-        )
-        if run_plan is not None:
-            shared_link.fault_plan = run_plan
-    elif backend == "packet":
-        shared_router = LINK_MODELS.get("packet-router")(
-            kernel, trace, queue_packets=queue_packets,
-            propagation_s=base_rtt / 2.0,
-        )
-        if run_plan is not None:
-            shared_router.fault_plan = run_plan
-    else:
-        raise ValueError(f"unknown multiclient backend {backend!r}")
-
-    sessions: List[StreamingSession] = []
-    session_ids: List[str] = []
-    for i, spec in enumerate(specs):
-        scenario = ScenarioSpec(
-            video=spec.video,
-            abr=spec.abr,
-            abr_kwargs=dict(spec.abr_kwargs),
-            trace=trace_name,
-            seed=seed,
-            reliability=reliability_mode(spec.partially_reliable),
-            buffer_segments=spec.buffer_segments,
-            queue_packets=queue_packets,
-            base_rtt=base_rtt,
-            backend=backend,
-            faults=faults,
-            request_timeout_s=request_timeout_s,
-            retry_budget=retry_budget,
-            retry_backoff_s=retry_backoff_s,
-        )
-        session_id = f"c{i}-{spec.abr}-{'Qstar' if spec.partially_reliable else 'Q'}"
-        session = StackBuilder(scenario, prepared_map=prepared_map).build(
-            network_trace=trace,
-            link=shared_link,
-            tracer=tracer,
-            clock=kernel.clock,
-            session_id=session_id,
-            scheduler=kernel if backend == "packet" else None,
-            router=shared_router,
-        )
-        sessions.append(session)
-        session_ids.append(session_id)
-
-    # Spawn order is the determinism anchor: simultaneous events tie-
-    # break by spawn sequence, so a fixed spec list fixes the interleave.
-    waiters = [kernel.spawn(session.steps()) for session in sessions]
-    kernel.run_until(lambda: all(w.fired for w in waiters))
-
-    if tracer is not None and tracer.enabled:
-        source = shared_link if shared_link is not None else shared_router
-        tracer.emit(
-            ev.LINK_STATS,
-            offered_packets=source.offered_packets,
-            dropped_packets=source.dropped_packets,
-            delivered_packets=source.delivered_packets,
-            flows=len(specs),
-        )
-
+    shard = build_shard(
+        specs,
+        trace,
+        trace_name=trace_name,
+        seed=seed,
+        queue_packets=queue_packets,
+        base_rtt=base_rtt,
+        backend=backend,
+        tracer=tracer,
+        prepared_map=prepared_map,
+        faults=faults,
+        request_timeout_s=request_timeout_s,
+        retry_budget=retry_budget,
+        retry_backoff_s=retry_backoff_s,
+        session_ids=session_ids,
+    )
+    metrics = shard.run()
     clients = [
-        ClientOutcome(session_id=sid, spec=spec, metrics=w.value)
-        for sid, spec, w in zip(session_ids, specs, waiters)
+        ClientOutcome(session_id=sid, spec=spec, metrics=m)
+        for sid, spec, m in zip(shard.session_ids, specs, metrics)
     ]
     return MulticlientResult(
         clients=clients, trace_name=trace_name, backend=backend

@@ -22,6 +22,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import copy
 import multiprocessing
 
 import numpy as np
@@ -236,10 +237,40 @@ def _rep_session(
 #: simulation itself.
 _PARALLEL_PREPARED: Optional[PreparedVideo] = None
 
+#: Mergeable observer algebra handed to fork()ed workers the same way:
+#: ``(state_object, bound_method_name_or_None)`` per observer.  Workers
+#: deep-copy the objects (fork-snapshot state), feed their repetition,
+#: and ship ``to_dict()`` states back for the parent to fold.
+_PARALLEL_OBSERVERS: Optional[List[Tuple[object, Optional[str]]]] = None
+
+
+def _observer_algebra(
+    observer,
+) -> Optional[Tuple[object, Optional[str]]]:
+    """The mergeable state object behind a trace observer, or None.
+
+    Bound-method observers (``rollup.feed``) resolve to their instance;
+    callable objects resolve to themselves.  "Mergeable" means the
+    object carries the fold algebra — ``merge``, ``to_dict``, and
+    ``from_dict`` — so per-repetition state can cross a fork boundary
+    as plain data and fold back in repetition order.  Returns the
+    object plus the bound method's name (to rebuild the callback on a
+    copy), or None for observers without the algebra.
+    """
+    obj = getattr(observer, "__self__", observer)
+    if all(
+        callable(getattr(obj, name, None))
+        for name in ("merge", "to_dict", "from_dict")
+    ):
+        attr = observer.__name__ if obj is not observer else None
+        return obj, attr
+    return None
+
 
 def _trial_worker(
     task: Tuple[ExperimentConfig, float, bool, bool, bool],
-) -> Tuple[SessionMetrics, MetricsRegistry, Optional[str], Optional[Dict]]:
+) -> Tuple[SessionMetrics, MetricsRegistry, Optional[str], Optional[Dict],
+           Optional[List[Dict]]]:
     """Process-pool entry point for one repetition.
 
     The task tuple carries the parent's profiling state explicitly:
@@ -247,6 +278,11 @@ def _trial_worker(
     flipped after the pool warmed up (or a ``forkserver``/``spawn``
     context someday) would silently strip ``--profile`` from every
     worker.  Re-applying it per task makes propagation unconditional.
+
+    Mergeable observers ride the ``_PARALLEL_OBSERVERS`` global: the
+    worker deep-copies each state object (isolating this repetition
+    from its siblings), rebuilds the bound callback on the copy, and
+    returns the serialized states for the parent's in-order fold.
     """
     config, shift_s, collect_trace, timers, profile = task
     enable_profiling(timers)
@@ -254,24 +290,47 @@ def _trial_worker(
     if prepared is None or prepared.video.name != config.video:
         prepared = get_prepared(config.video)
     trace = _resolve_trace(config)
-    return _rep_session(
-        config, shift_s, prepared, trace, collect_trace, profile=profile
+    observers = None
+    algebra = None
+    if _PARALLEL_OBSERVERS:
+        algebra = [copy.deepcopy(obj) for obj, _ in _PARALLEL_OBSERVERS]
+        observers = [
+            obj if attr is None else getattr(obj, attr)
+            for obj, (_, attr) in zip(algebra, _PARALLEL_OBSERVERS)
+        ]
+    metrics, registry, jsonl, prof_state = _rep_session(
+        config, shift_s, prepared, trace, collect_trace, observers,
+        profile=profile,
     )
+    states = (
+        [obj.to_dict() for obj in algebra] if algebra is not None else None
+    )
+    return metrics, registry, jsonl, prof_state, states
 
 
-def _fork_map(worker, tasks: Sequence, workers: int) -> List:
+def fork_map(worker, tasks: Sequence, workers: int) -> List:
     """Fan ``tasks`` out over fork()ed workers, results in task order.
 
     fork() children inherit the parent's memory snapshot (prepared-video
     caches, module globals), so inputs are identical to an in-process
     run; mapping preserves order, so folding results is deterministic.
-    Shared machinery of :func:`run_trials` and the sweep engine.
+    With ``workers <= 1`` the tasks run serially in-process through the
+    same worker function — the degenerate case every caller's
+    byte-identity claim is anchored to.  Shared machinery of
+    :func:`run_trials`, the sweep/chaos engines, and the fleet
+    executor.
     """
+    if workers <= 1:
+        return [worker(task) for task in tasks]
     ctx = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(
         max_workers=min(workers, len(tasks)), mp_context=ctx
     ) as pool:
         return list(pool.map(worker, tasks))
+
+
+#: Back-compat alias (pre-fleet name).
+_fork_map = fork_map
 
 
 def run_trials(
@@ -294,16 +353,36 @@ def run_trials(
         collect_traces: record a JSONL trace per repetition on the
             summary's ``traces``.
         observers: trace-event callbacks attached to every repetition's
-            tracer (streaming rollups, attributors).  In-process
-            callables cannot cross a fork boundary, so observers require
-            ``workers=1`` — which is how the sweep engine runs cells.
+            tracer (streaming rollups, attributors).  With
+            ``workers > 1`` each observer must expose the merge algebra
+            (``merge``/``to_dict``/``from_dict`` on the observer or the
+            instance behind a bound method): workers feed an isolated
+            copy per repetition and the parent folds the serialized
+            states back in repetition order — byte-identical to serial
+            when the observers start empty (fresh instances; pre-seeded
+            state would be double-counted) and per-repetition
+            distributions stay under the histogram reservoir threshold.
+            Plain callables without the algebra still require
+            ``workers=1``.
     """
-    global _PARALLEL_PREPARED
+    global _PARALLEL_PREPARED, _PARALLEL_OBSERVERS
+    parallel_algebra: Optional[List[Tuple[object, Optional[str]]]] = None
     if observers and workers > 1:
-        raise ValueError(
-            "trace observers require workers=1 (observer state lives "
-            "in this process; forked repetitions cannot feed it)"
-        )
+        resolved = [_observer_algebra(observer) for observer in observers]
+        if any(entry is None for entry in resolved):
+            bad = [
+                repr(observer)
+                for observer, entry in zip(observers, resolved)
+                if entry is None
+            ]
+            raise ValueError(
+                "trace observers without a merge algebra require "
+                "workers=1 (observer state lives in this process; "
+                "forked repetitions cannot feed it).  Expose "
+                "merge/to_dict/from_dict to fold across workers; "
+                f"non-mergeable: {', '.join(bad)}"
+            )
+        parallel_algebra = resolved
     if prepared is None:
         prepared = get_prepared(config.video)
     trace = _resolve_trace(config)
@@ -324,8 +403,9 @@ def run_trials(
     with scoped_registry() as registry:
         if workers <= 1:
             outcomes = [
-                _rep_session(config, shift, prepared, trace,
-                             collect_traces, observers, profile=profile)
+                (*_rep_session(config, shift, prepared, trace,
+                               collect_traces, observers, profile=profile),
+                 None)
                 for shift in shifts
             ]
         else:
@@ -333,8 +413,9 @@ def run_trials(
             # process state) by memory snapshot — cheap, and identical
             # inputs to the serial path.
             _PARALLEL_PREPARED = prepared
+            _PARALLEL_OBSERVERS = parallel_algebra
             try:
-                outcomes = _fork_map(
+                outcomes = fork_map(
                     _trial_worker,
                     [
                         (config, shift, collect_traces,
@@ -345,15 +426,21 @@ def run_trials(
                 )
             finally:
                 _PARALLEL_PREPARED = None
+                _PARALLEL_OBSERVERS = None
         sessions = []
         traces: List[str] = []
-        for metrics, rep_registry, jsonl, prof_state in outcomes:
+        for metrics, rep_registry, jsonl, prof_state, states in outcomes:
             sessions.append(metrics)
             registry.merge(rep_registry)
             if jsonl is not None:
                 traces.append(jsonl)
             if prof_state is not None and parent_prof is not None:
                 parent_prof.merge_dict(prof_state)
+            if states and parallel_algebra:
+                # Fold each repetition's observer state into the
+                # caller's live objects, in repetition order.
+                for (obj, _attr), state in zip(parallel_algebra, states):
+                    obj.merge(type(obj).from_dict(state))
         metrics_dump = registry.dump()
     return TrialSummary(
         config=config,

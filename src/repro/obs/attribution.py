@@ -358,15 +358,24 @@ class FleetAttributor:
         self._sessions: Dict[object, SessionAttributor] = {}
         self._order: List[object] = []
         self._archived: List[AttributionResult] = []
+        # Finalized partitions restored across a process boundary
+        # (from_dict/merge); frozen — they can no longer be fed.
+        self._restored: Dict[object, AttributionResult] = {}
 
     def feed(self, event: TraceEvent) -> None:
         sid = event.fields.get("session_id")
-        if (
-            sid is None
-            and event.type == ev.SESSION_START
-            and None in self._sessions
-        ):
-            self._archived.append(self._sessions.pop(None).result())
+        if sid is None:
+            if event.type == ev.SESSION_START:
+                if None in self._sessions:
+                    self._archived.append(
+                        self._sessions.pop(None).result()
+                    )
+            elif event.type not in SessionAttributor._HANDLERS:
+                # Sessionless bookkeeping events (link stats emitted at
+                # the end of a shard) belong to no partition; admitting
+                # them would fabricate a phantom ``None`` session in
+                # multi-client streams.
+                return
         attributor = self._sessions.get(sid)
         if attributor is None:
             attributor = self._sessions[sid] = SessionAttributor()
@@ -374,24 +383,39 @@ class FleetAttributor:
                 self._order.append(sid)
         attributor.feed(event)
 
+    def _session_results(self) -> List[Tuple[object, AttributionResult]]:
+        """(session_id, partition) pairs in first-appearance order,
+        folding restored state into any live attributor for the id."""
+        out: List[Tuple[object, AttributionResult]] = []
+        for sid in self._order:
+            parts: List[AttributionResult] = []
+            restored = self._restored.get(sid)
+            if restored is not None:
+                parts.append(restored)
+            live = self._sessions.get(sid)
+            if live is not None:
+                parts.append(live.result())
+            if not parts:
+                continue
+            if len(parts) == 1:
+                out.append((sid, parts[0]))
+            else:
+                folded = AttributionResult()
+                for part in parts:
+                    folded.merge(part)
+                out.append((sid, folded))
+        return out
+
     def results(self) -> "Dict[object, AttributionResult]":
-        """Live per-session partitions, in order of first appearance."""
-        return {
-            sid: self._sessions[sid].result()
-            for sid in self._order
-            if sid in self._sessions
-        }
+        """Per-session partitions, in order of first appearance."""
+        return dict(self._session_results())
 
     def combined(self) -> AttributionResult:
         """Fleet-wide partition: per-session results folded together."""
         combined = AttributionResult()
         any_reported = False
         parts = list(self._archived)
-        parts.extend(
-            self._sessions[sid].result()
-            for sid in self._order
-            if sid in self._sessions
-        )
+        parts.extend(result for _, result in self._session_results())
         for result in parts:
             combined.merge(result)
             if result.reported_stall is not None:
@@ -399,6 +423,59 @@ class FleetAttributor:
         if not any_reported:
             combined.reported_stall = None
         return combined
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot: archived solo runs plus per-session
+        partitions in first-appearance order.  Mergeable state only —
+        the internal per-segment attributor machinery is finalized, so
+        a restored fleet cannot be fed further events for these ids."""
+        return {
+            "archived": [result.to_dict() for result in self._archived],
+            "sessions": [
+                {"session_id": sid, "result": result.to_dict()}
+                for sid, result in self._session_results()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FleetAttributor":
+        """Rebuild from :meth:`to_dict` output (sessions restore as
+        frozen partitions; order is preserved)."""
+        fleet = cls()
+        fleet._archived = [
+            AttributionResult.from_dict(entry)
+            for entry in data.get("archived", ())
+        ]
+        for entry in data.get("sessions", ()):
+            sid = entry["session_id"]
+            fleet._order.append(sid)
+            fleet._restored[sid] = AttributionResult.from_dict(
+                entry["result"]
+            )
+        return fleet
+
+    def merge(self, other: "FleetAttributor") -> None:
+        """Fold another fleet's partitions in (cross-shard merge).
+
+        Distinct session ids append in ``other``'s order; a colliding
+        id folds into the existing partition.  ``other`` is left
+        untouched — merged state is copied, never aliased.
+        """
+        for result in other._archived:
+            self._archived.append(
+                AttributionResult.from_dict(result.to_dict())
+            )
+        for sid, result in other._session_results():
+            if sid in self._restored:
+                self._restored[sid].merge(result)
+            elif sid in self._sessions:
+                folded = self._restored[sid] = AttributionResult()
+                folded.merge(result)
+            else:
+                self._order.append(sid)
+                self._restored[sid] = AttributionResult.from_dict(
+                    result.to_dict()
+                )
 
 
 def attribute_events(events: Iterable[TraceEvent]) -> AttributionResult:

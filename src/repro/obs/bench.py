@@ -241,6 +241,47 @@ def _bench_multiclient(tiny, seed: int) -> Dict[str, float]:
     }
 
 
+def _bench_fleet(tiny, seed: int) -> Dict[str, float]:
+    """A sharded fleet: clients simulated per wall-second.
+
+    Fixed shard count so the headline ``clients_per_s`` tracks
+    per-shard executor cost, not parallelism; runs single-process for
+    the same reason.  ``audit_ok`` gates the attribution partition law
+    over the merged fleet, and ``fleet_hash`` pins cross-shard merge
+    determinism into the payload.
+    """
+    from repro.experiments.fleet import ClientGroup, FleetSpec, run_fleet
+
+    groups = tuple(
+        ClientGroup(abr=abr, video=tiny.name, partially_reliable=pr)
+        for abr, pr in (
+            ("abr_star", True), ("bola", True),
+            ("abr_star", False), ("bola", False),
+        )
+    )
+    spec = FleetSpec(
+        clients=48, shards=4, groups=groups, trace="constant:40",
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    result = run_fleet(spec, prepared_map={tiny.name: tiny})
+    wall = max(time.perf_counter() - t0, 1e-9)
+    report = result.report()
+    return {
+        "kind": "fleet",
+        "workload": tiny.name,
+        "wall_s": wall,
+        "clients": result.clients,
+        "shards": spec.shards,
+        "clients_per_s": result.clients / wall,
+        "events": int(report["rollup"]["events_seen"]),
+        "jain_index": result.jain_index,
+        "stall_p99_s": report["rollup"]["session_stall_s"]["p99"],
+        "fleet_hash": result.fleet_hash(),
+        "audit_ok": bool(result.attribution.combined().ok),
+    }
+
+
 def _bench_resilience(tiny, seed: int) -> Dict[str, float]:
     """A faulted session under the retry/degradation machinery, audited.
 
@@ -505,6 +546,10 @@ def run_suite(
         # Multi-client contention and the parallel trial executor always
         # use the tiny workload — they each run several full sessions.
         benchmarks["macro.multiclient"] = _bench_multiclient(tiny, seed)
+        # The sharded fleet executor: headline clients-per-wall-second
+        # at a fixed shard count, with the fleet hash pinned into the
+        # payload (cross-shard merge determinism).
+        benchmarks["macro.fleet"] = _bench_fleet(tiny, seed)
         # Chaos cell: the resilience machinery under the mixed fault
         # profile, with the inline invariant auditor attached.
         benchmarks["macro.resilience"] = _bench_resilience(tiny, seed)
@@ -563,6 +608,14 @@ def format_suite(payload: Dict[str, object]) -> str:
                 f"speedup {stats['speedup']:5.2f}x  "
                 f"({stats['workers']} workers, {stats['reps']} reps, "
                 f"identical={stats['identical']})"
+            )
+        elif stats["kind"] == "fleet":
+            lines.append(
+                f"{name:28s} {stats['wall_s']:9.4f}s wall  "
+                f"{stats['clients_per_s']:8.1f} clients/s  "
+                f"({stats['clients']} clients / {stats['shards']} "
+                f"shards, jain {stats['jain_index']:.3f}, "
+                f"hash {stats['fleet_hash']})"
             )
         else:
             lines.append(

@@ -27,10 +27,11 @@ def test_payload_schema(payload):
         "macro.session.round", "macro.session.packet",
         "macro.multiclient", "macro.parallel_runner",
         "macro.resilience", "macro.rollup", "macro.spans",
+        "macro.fleet",
     }
     for name, stats in payload["benchmarks"].items():
         assert stats["wall_s"] > 0, name
-        assert stats["kind"] in ("micro", "macro", "parallel")
+        assert stats["kind"] in ("micro", "macro", "parallel", "fleet")
 
 
 def test_micro_stats(payload):
@@ -61,6 +62,17 @@ def test_multiclient_stats(payload):
     assert 0.0 < stats["jain_index"] <= 1.0
     assert stats["events"] > 0
     assert stats["sim_s"] > 0
+
+
+def test_fleet_stats(payload):
+    stats = payload["benchmarks"]["macro.fleet"]
+    assert stats["kind"] == "fleet"
+    assert stats["clients"] == 48
+    assert stats["shards"] == 4
+    assert stats["clients_per_s"] > 0
+    assert 0.0 < stats["jain_index"] <= 1.0
+    assert len(stats["fleet_hash"]) == 16
+    assert stats["audit_ok"] is True
 
 
 def test_resilience_stats(payload):

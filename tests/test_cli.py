@@ -285,3 +285,40 @@ class TestObservabilityCli:
     def test_unknown_video_in_prepare_exits_2(self, capsys):
         assert main(["prepare", "nosuch"]) == 2
         assert "unknown video" in capsys.readouterr().err
+
+
+class TestFleetCli:
+    _ARGS = [
+        "fleet", "bbb", "--clients", "4", "--shards", "2",
+        "--trace", "constant:30", "--buffer", "2",
+    ]
+
+    def test_fleet_report(self, capsys):
+        assert main(self._ARGS) == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out and "Jain" in out
+        assert "fleet hash" in out
+
+    def test_fleet_json_and_out(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        code = main(["--json"] + self._ARGS + ["--out", str(path)])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["clients"] == 4
+        assert len(data["shards"]) == 2
+        assert len(data["fleet_hash"]) == 16
+        on_disk = json.loads(path.read_text())
+        assert on_disk["fleet_hash"] == data["fleet_hash"]
+
+    def test_fleet_spec_json_overrides_flags(self, capsys):
+        spec = json.dumps({
+            "clients": 4, "shards": 2, "trace": "constant:30",
+        })
+        code = main(["--json", "fleet", "--spec", spec])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["clients"] == 4
+
+    def test_fleet_bad_spec_exits_2(self, capsys):
+        assert main(["fleet", "--spec", "{\"shardz\": 3}"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()

@@ -140,3 +140,53 @@ def test_parallel_trials_identical_to_serial(tiny_prepared):
 def test_parallel_traces_off_by_default(tiny_prepared):
     summary = run_trials(_config(tiny_prepared.name), prepared=tiny_prepared)
     assert summary.traces is None
+
+
+# ---------------------------------------------------------------------------
+# Labels and session ids: distinguishable clients in mixed populations.
+# ---------------------------------------------------------------------------
+def test_label_index_disambiguates_repeated_specs():
+    spec = ClientSpec(abr="bola", video="bbb", partially_reliable=True)
+    assert spec.label() == "bola/Q*"
+    assert spec.label(3) == "bola/Q*#3"
+    assert spec.label(0) == "bola/Q*#0"
+
+
+def test_result_rows_carry_unique_labels(tiny_prepared):
+    # 8 clients over a 4-way cycle: specs repeat, labels must not.
+    result = _run(tiny_prepared, count=8)
+    labels = [row["label"] for row in result.rows()]
+    assert len(labels) == 8
+    assert len(set(labels)) == 8, labels
+    # Ordering survives: row i belongs to client i.
+    for i, label in enumerate(labels):
+        assert label.endswith(f"#{i}")
+
+
+def test_custom_session_ids_tag_events(tiny_prepared):
+    tracer = Tracer()
+    ids = ["alpha", "beta"]
+    result = run_multiclient(
+        _specs(2, tiny_prepared.name),
+        trace=constant_trace(12.0),
+        tracer=tracer,
+        prepared_map={tiny_prepared.name: tiny_prepared},
+        session_ids=ids,
+    )
+    assert [c.session_id for c in result.clients] == ids
+    tagged = {
+        e.fields.get("session_id")
+        for e in tracer.events
+        if e.fields.get("session_id")
+    }
+    assert tagged == set(ids)
+
+
+def test_session_ids_length_mismatch_rejected(tiny_prepared):
+    with pytest.raises(ValueError):
+        run_multiclient(
+            _specs(2, tiny_prepared.name),
+            trace=constant_trace(12.0),
+            prepared_map={tiny_prepared.name: tiny_prepared},
+            session_ids=["only-one"],
+        )

@@ -189,6 +189,138 @@ class TestMerge:
 
 
 # ---------------------------------------------------------------------------
+# Merge algebra at scale: behaviour around the reservoir threshold.
+#
+# The fleet merge relies on a precise contract: folding per-shard
+# histograms left-to-right is byte-identical to the single-pass feed as
+# long as each *shard's* distribution stays under the reservoir cap
+# (its sample list is then the verbatim observation sequence, and merge
+# replays it in order).  Above the cap the reservoir subsamples, so the
+# algebra keeps exact counts/sums but loses byte-level associativity —
+# pinned here so nobody mistakes the estimates for exact percentiles.
+# ---------------------------------------------------------------------------
+def _values(n: int, offset: float = 0.0):
+    # A deterministic, non-monotonic stream (no RNG: reproducible).
+    return [((i * 37) % 101) / 10.0 + offset for i in range(n)]
+
+
+class TestMergeAlgebra:
+    def test_chunked_fold_exact_when_chunks_under_reservoir(self):
+        # 3 x 3000 samples: total crosses the 4096 cap, chunks do not.
+        chunks = [_values(3000, offset=k) for k in range(3)]
+        serial = Histogram()
+        for chunk in chunks:
+            for value in chunk:
+                serial.observe(value)
+        folded = Histogram()
+        for chunk in chunks:
+            part = Histogram()
+            for value in chunk:
+                part.observe(value)
+            folded.merge(part)
+        state_f, state_s = folded.state_dict(), serial.state_dict()
+        # The reservoir is sample-for-sample identical: every chunk
+        # replays its verbatim sequence, so the RNG replacement walk
+        # matches the single pass exactly.
+        assert state_f["values"] == state_s["values"]
+        assert state_f["seen"] == state_s["seen"]
+        assert state_f["count"] == state_s["count"]
+        # Totals agree to float-fold order (merge adds chunk sums in
+        # one lump; serial adds element-wise).
+        assert state_f["total"] == pytest.approx(state_s["total"])
+        for q in (50, 90, 99):
+            assert folded.percentile(q) == serial.percentile(q)
+
+    def test_associative_below_reservoir(self):
+        def hist(values):
+            h = Histogram()
+            for value in values:
+                h.observe(value)
+            return h
+
+        streams = [_values(500, offset=k) for k in range(3)]
+        left = hist(streams[0])
+        left.merge(hist(streams[1]))
+        left.merge(hist(streams[2]))
+        bc = hist(streams[1])
+        bc.merge(hist(streams[2]))
+        right = hist(streams[0])
+        right.merge(bc)
+        assert left.state_dict() == right.state_dict()
+
+    def test_order_sensitive_above_reservoir(self):
+        def hist(values):
+            h = Histogram()
+            for value in values:
+                h.observe(value)
+            return h
+
+        a, b = _values(3000), _values(3000, offset=50.0)
+        ab = hist(a)
+        ab.merge(hist(b))
+        ba = hist(b)
+        ba.merge(hist(a))
+        # Exact aggregates survive any order...
+        assert ab.count == ba.count == 6000
+        assert ab.total == pytest.approx(ba.total)
+        assert ab.mean == pytest.approx(ba.mean)
+        # ...but the reservoirs subsampled different suffixes, so the
+        # sample sets (and thus percentile estimates) may differ.
+        assert ab.state_dict()["values"] != ba.state_dict()["values"]
+
+    def test_not_associative_above_reservoir(self):
+        def hist(values):
+            h = Histogram()
+            for value in values:
+                h.observe(value)
+            return h
+
+        streams = [_values(3000, offset=50.0 * k) for k in range(3)]
+        left = hist(streams[0])
+        left.merge(hist(streams[1]))
+        left.merge(hist(streams[2]))
+        bc = hist(streams[1])
+        bc.merge(hist(streams[2]))        # overflows: bc subsamples
+        right = hist(streams[0])
+        right.merge(bc)                   # right sees bc's subsample
+        assert left.count == right.count == 9000
+        assert left.total == pytest.approx(right.total)
+        assert left.state_dict()["values"] != right.state_dict()["values"]
+
+    def test_rollup_chunked_fold_exact_over_reservoir_total(self):
+        # Three shard-sized rollups whose combined stall distribution
+        # crosses the reservoir cap; fold-left equals the single pass
+        # because each shard stayed under it.
+        shards = [
+            _session(f"s{k}", [0.1] * 1500, start_seq=k * 10_000)
+            for k in range(3)
+        ]
+        single = TraceRollup()
+        for events in shards:
+            for event in events:
+                single.feed(event)
+        folded = TraceRollup()
+        for events in shards:
+            part = TraceRollup()
+            for event in events:
+                part.feed(event)
+            folded.merge(part)
+        summary_f, summary_s = folded.summary(), single.summary()
+        assert summary_f["stall_seconds"]["count"] > 4096
+        for name in ("stall_seconds", "qoe_score", "startup_delay_s"):
+            dist_f, dist_s = summary_f[name], summary_s[name]
+            assert dist_f["count"] == dist_s["count"]
+            # Percentiles come straight from the (identical) reservoir.
+            for q in ("p50", "p90", "p99", "p999"):
+                assert dist_f[q] == dist_s[q]
+            # Sums/means agree to float-fold order.
+            assert dist_f["sum"] == pytest.approx(dist_s["sum"])
+        assert summary_f["events"] == summary_s["events"]
+        assert summary_f["sessions_seen"] == summary_s["sessions_seen"]
+        assert summary_f["jain_index"] == summary_s["jain_index"]
+
+
+# ---------------------------------------------------------------------------
 # StreamingTracer: observers without a buffer.
 # ---------------------------------------------------------------------------
 class TestStreamingTracer:
