@@ -74,6 +74,11 @@ class BolaSsim(Bola):
         )
         self.metric = metric
 
+    def _candidates_key(self) -> Optional[tuple]:
+        # The candidate utilities depend on the QoE metric, so instances
+        # configured with different metrics must not share cache rows.
+        return (type(self), self.metric)
+
     def candidates(self, ctx: DecisionContext) -> List[Candidate]:
         options: List[Candidate] = []
         for quality in range(ctx.num_levels):
@@ -142,6 +147,10 @@ class AbrStar(BolaSsim):
     """ABR*: BOLA-SSIM + keep-partial abandonment + bandwidth safety."""
 
     name = "abr_star"
+    # control() continues unconditionally below 0.5 s of download signal
+    # (the throughput sample is not trustworthy yet); advertising the
+    # gate lets the session skip the per-round progress snapshot.
+    control_min_elapsed_s = 0.5
 
     def __init__(
         self,

@@ -28,7 +28,7 @@ class ControlVerb(enum.Enum):
     RESTART = "restart"  # discard, re-download at `restart_quality`
 
 
-@dataclass
+@dataclass(slots=True)
 class ControlAction:
     verb: ControlVerb = ControlVerb.CONTINUE
     truncate_to_bytes: Optional[int] = None  # wire-request byte limit
@@ -36,7 +36,9 @@ class ControlAction:
 
     @classmethod
     def cont(cls) -> "ControlAction":
-        return cls()
+        # One shared instance: continue-actions are produced once per
+        # transport round and never mutated, so allocation is waste.
+        return _CONTINUE if cls is ControlAction else cls()
 
     @classmethod
     def truncate(cls, at_bytes: Optional[int] = None) -> "ControlAction":
@@ -47,7 +49,10 @@ class ControlAction:
         return cls(verb=ControlVerb.RESTART, restart_quality=quality)
 
 
-@dataclass
+_CONTINUE = ControlAction()
+
+
+@dataclass(slots=True)
 class Decision:
     """What to download next.
 
@@ -73,7 +78,7 @@ class Decision:
     skip_frames: Optional[tuple] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class DownloadProgress:
     """Live state handed to :meth:`ABRAlgorithm.control`."""
 
@@ -86,7 +91,7 @@ class DownloadProgress:
     throughput_bps: float  # safe running estimate
 
 
-@dataclass
+@dataclass(slots=True)
 class DecisionContext:
     """Everything an ABR algorithm may consult before a download."""
 
@@ -113,6 +118,13 @@ class ABRAlgorithm(abc.ABC):
     """Base class for ABR algorithms."""
 
     name: str = "abr"
+
+    #: Earliest download elapsed time (seconds) at which :meth:`control`
+    #: can return anything but CONTINUE.  The session skips building the
+    #: progress snapshot below it, so algorithms with a warm-up gate
+    #: (e.g. ABR* waits 0.5 s of signal) advertise it here.  Must be a
+    #: conservative lower bound of the method's own early-exit check.
+    control_min_elapsed_s: float = 0.0
 
     def setup(self, manifest: VoxelManifest, buffer_capacity_s: float) -> None:
         """One-time initialization before streaming begins."""

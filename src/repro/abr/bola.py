@@ -26,6 +26,7 @@ that is exactly how BOLA-SSIM and ABR* are built (§4.3).
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -54,8 +55,33 @@ class Candidate:
     target_bytes: Optional[int] = None
 
 
+# Shared candidate memo.  :meth:`Bola.candidates` (and every override in
+# this codebase) is a pure function of the segment's entry row plus
+# static per-algorithm configuration, so the candidate list for one
+# (algorithm config, segment) pair is computed once and shared by every
+# session — including the wait-loop re-decides of a single session and
+# all clients of a fleet.  Keys carry the entry-row object itself, which
+# both pins its id against reuse and keeps lookups identity-fast.
+_CANDIDATE_CACHE: "OrderedDict" = OrderedDict()
+_CANDIDATE_CACHE_MAX = 4096
+
+
+def clear_candidate_cache() -> None:
+    """Drop the shared candidate memo (tests and ad-hoc ladders)."""
+    _CANDIDATE_CACHE.clear()
+
+
 class Bola(ABRAlgorithm):
-    """BOLA-E over full-segment candidates with bitrate utility."""
+    """BOLA-E over full-segment candidates with bitrate utility.
+
+    .. note:: :meth:`candidates` must stay a pure function of
+       ``ctx.entries``, ``ctx.voxel_capable`` and static instance
+       configuration (captured by :meth:`_candidates_key`) — the shared
+       candidate memo depends on it.  Overrides that consult dynamic
+       context (buffer, throughput) must also override
+       :meth:`_candidates_key` to return ``None``, which disables the
+       memo for that instance.
+    """
 
     name = "bola"
 
@@ -83,6 +109,25 @@ class Bola(ABRAlgorithm):
         self._buffer_capacity_s = buffer_capacity_s
 
     # -- candidate space -------------------------------------------------
+    def _candidates_key(self) -> Optional[tuple]:
+        """Static configuration the candidate space depends on."""
+        return (type(self),)
+
+    def _cached_candidates(self, ctx: DecisionContext) -> List[Candidate]:
+        config = self._candidates_key()
+        if config is None:
+            return self.candidates(ctx)
+        key = (config, ctx.segment_index, ctx.voxel_capable, id(ctx.entries))
+        cached = _CANDIDATE_CACHE.get(key)
+        if cached is not None and cached[0] is ctx.entries:
+            _CANDIDATE_CACHE.move_to_end(key)
+            return cached[1]
+        options = self.candidates(ctx)
+        _CANDIDATE_CACHE[key] = (ctx.entries, options)
+        if len(_CANDIDATE_CACHE) > _CANDIDATE_CACHE_MAX:
+            _CANDIDATE_CACHE.popitem(last=False)
+        return options
+
     def candidates(self, ctx: DecisionContext) -> List[Candidate]:
         """Full-segment options with log-bitrate utilities."""
         sizes = [ctx.entry(q).total_bytes for q in range(ctx.num_levels)]
@@ -119,7 +164,7 @@ class Bola(ABRAlgorithm):
     def choose(self, ctx: DecisionContext) -> Decision:
         self._abandoned_segment = None
         self._last_ctx = ctx
-        options = self.candidates(ctx)
+        options = self._cached_candidates(ctx)
         v_param, gp, virtual_target = self._parameters(
             options, ctx.segment_duration
         )
@@ -142,10 +187,17 @@ class Bola(ABRAlgorithm):
                 and ctx.buffer_level_s >= 0.7 * ctx.buffer_capacity_s
             ):
                 probe_ceiling = min(ctx.last_quality + 1, ctx.num_levels - 1)
-                feasible.extend(
-                    o for o in options
-                    if o.quality <= probe_ceiling and o not in feasible
-                )
+                # Set membership: Candidate is frozen/hashable, so this
+                # matches the list scan exactly without the O(n*m) eq
+                # cascade on wide VOXEL candidate spaces.
+                already = set(feasible)
+                for option in options:
+                    if (
+                        option.quality <= probe_ceiling
+                        and option not in already
+                    ):
+                        feasible.append(option)
+                        already.add(option)
             if feasible:
                 options = feasible
             else:

@@ -37,7 +37,7 @@ MTU = 1500  # bytes
 BASE_RTT = 0.060  # 30 ms each way (§5)
 
 
-@dataclass
+@dataclass(slots=True)
 class RoundOutcome:
     """Result of offering one round's burst to the link."""
 
@@ -94,6 +94,23 @@ class BottleneckLink:
         # serviced packets via a deterministic accumulator.
         self.fault_plan = None
         self._loss_accum = 0.0
+        # Constant trace with no cross traffic (the fleet default):
+        # the service rate is one precomputed float, so the per-round
+        # paths skip the trace lookup entirely.  The precomputation
+        # replays available_bps() exactly (same ops, same floats).
+        self._const_bps: Optional[float] = None
+        if cross_demand is None:
+            const_mbps = getattr(trace, "_const_mbps", None)
+            # Subclasses (e.g. FaultedTrace) may override the bandwidth
+            # lookup while inheriting the base series' constant marker;
+            # the fast path only applies when the base lookup is live.
+            if (const_mbps is not None
+                    and type(trace).bandwidth_mbps
+                    is NetworkTrace.bandwidth_mbps
+                    and type(trace).bandwidth_bps
+                    is NetworkTrace.bandwidth_bps):
+                capacity = const_mbps * 1e6
+                self._const_bps = capacity if capacity > 1e3 else 1e3
         # Lifetime instance counters (cross-session conservation law).
         self.offered_packets = 0
         self.delivered_packets = 0
@@ -127,9 +144,12 @@ class BottleneckLink:
     # ------------------------------------------------------------------
     def available_bps(self, t: float) -> float:
         """Service rate available to the video flow at time ``t``."""
+        const = self._const_bps
+        if const is not None:
+            return const
         capacity = self.trace.bandwidth_bps(t)
         if self.cross_demand is None:
-            return max(capacity, 1e3)
+            return capacity if capacity > 1e3 else 1e3
         demand = self.cross_demand.bandwidth_bps(t)
         return max(capacity - demand, self.fairness_floor * capacity, 1e3)
 
@@ -171,42 +191,108 @@ class BottleneckLink:
         if packets < 0:
             raise ValueError("cannot offer a negative burst")
         prof = self._prof
-        if prof is None:
-            if self._shared:
-                return self._offer_round_shared(t, packets)
+        if prof is not None:
+            frame = prof.push("link.offer", "link")
+            try:
+                if self._shared:
+                    return self._offer_round_shared(t, packets)
+                return self._offer_round_single(t, packets)
+            finally:
+                prof.pop(frame)
+        if not self._shared:
             return self._offer_round_single(t, packets)
-        frame = prof.push("link.offer", "link")
-        try:
-            if self._shared:
-                return self._offer_round_shared(t, packets)
-            return self._offer_round_single(t, packets)
-        finally:
-            prof.pop(frame)
+        # Unprofiled shared rounds run inline — a verbatim copy of
+        # _offer_round_shared (kept as the metered/single-call form) so
+        # the hottest call in a fleet shard costs one frame, not two.
+        mtu = self.mtu
+        plan = self.fault_plan
+        service = self._const_bps
+        if service is None:
+            service = self.available_bps(t)
+        queue = self.queue_bytes
+        last_t = self._last_service_t
+        if last_t is not None and t > last_t:
+            queue -= service * (t - last_t) / 8.0
+            if queue < 0.0:
+                queue = 0.0
+        self._last_service_t = t
+
+        rtt_base = self.base_rtt if plan is None \
+            else self.base_rtt + plan.extra_latency(t)
+        rtt = rtt_base + queue * 8.0 / service
+
+        backlog = queue + packets * mtu
+        limit = self.queue_packets * mtu
+        if backlog > limit:
+            self.queue_bytes = limit
+            dropped = int((backlog - limit) // mtu)
+            if dropped > packets:
+                dropped = packets
+        else:
+            self.queue_bytes = backlog
+            dropped = 0
+
+        delivered = packets - dropped
+        if plan is not None:
+            injected = self._inject_loss(t, delivered)
+            dropped += injected
+            delivered -= injected
+        self.offered_packets += packets
+        self.delivered_packets += delivered
+        self.dropped_packets += dropped
+        self._ctr_offered.inc(packets)
+        if dropped:
+            self._ctr_dropped.inc(dropped)
+        self._gauge_queue.set(self.queue_bytes)
+        return RoundOutcome(
+            delivered_packets=delivered,
+            dropped_packets=dropped,
+            rtt=rtt,
+            bandwidth_bps=service,
+        )
 
     def _offer_round_single(self, t: float, packets: int) -> RoundOutcome:
         """Historical single-flow accounting (full rate over own RTT)."""
-        service = self.available_bps(t)
-        rtt = self._rtt_base(t) + self.queue_bytes * 8.0 / service
+        mtu = self.mtu
+        plan = self.fault_plan
+        service = self._const_bps
+        if service is None:
+            service = self.available_bps(t)
+        rtt_base = self.base_rtt if plan is None \
+            else self.base_rtt + plan.extra_latency(t)
+        rtt = rtt_base + self.queue_bytes * 8.0 / service
 
         # Bytes the link can serve while this round is in flight.
         serviceable = service * rtt / 8.0
-        arrivals = packets * self.mtu
+        arrivals = packets * mtu
 
         backlog = self.queue_bytes + arrivals - serviceable
         if backlog < 0:
             backlog = 0.0
-        limit = self.queue_packets * self.mtu
-        dropped_bytes = max(backlog - limit, 0.0)
-        self.queue_bytes = min(backlog, limit)
+        limit = self.queue_packets * mtu
+        if backlog > limit:
+            self.queue_bytes = limit
+            dropped = int((backlog - limit) // mtu)
+            if dropped > packets:
+                dropped = packets
+        else:
+            self.queue_bytes = backlog
+            dropped = 0
 
-        dropped = min(int(dropped_bytes // self.mtu), packets)
         delivered = packets - dropped
         # Loss-fault drops hit packets that survived the queue (wire
         # corruption happens after service).
-        injected = self._inject_loss(t, delivered)
-        dropped += injected
-        delivered -= injected
-        self._account(packets, delivered, dropped)
+        if plan is not None:
+            injected = self._inject_loss(t, delivered)
+            dropped += injected
+            delivered -= injected
+        self.offered_packets += packets
+        self.delivered_packets += delivered
+        self.dropped_packets += dropped
+        self._ctr_offered.inc(packets)
+        if dropped:
+            self._ctr_dropped.inc(dropped)
+        self._gauge_queue.set(self.queue_bytes)
         return RoundOutcome(
             delivered_packets=delivered,
             dropped_packets=dropped,
@@ -223,46 +309,54 @@ class BottleneckLink:
         granted to whoever offers next, over real elapsed time, so N
         overlapping rounds cannot multiply the link's capacity by N.
         """
-        service = self.available_bps(t)
-        if self._last_service_t is not None:
-            elapsed = t - self._last_service_t
-            if elapsed > 0:
-                self.queue_bytes = max(
-                    0.0, self.queue_bytes - service * elapsed / 8.0
-                )
+        mtu = self.mtu
+        plan = self.fault_plan
+        service = self._const_bps
+        if service is None:
+            service = self.available_bps(t)
+        queue = self.queue_bytes
+        last_t = self._last_service_t
+        if last_t is not None and t > last_t:
+            queue -= service * (t - last_t) / 8.0
+            if queue < 0.0:
+                queue = 0.0
         self._last_service_t = t
 
         # Queueing delay seen by this burst: the backlog already ahead
         # of it at arrival.
-        rtt = self._rtt_base(t) + self.queue_bytes * 8.0 / service
+        rtt_base = self.base_rtt if plan is None \
+            else self.base_rtt + plan.extra_latency(t)
+        rtt = rtt_base + queue * 8.0 / service
 
-        arrivals = packets * self.mtu
-        backlog = self.queue_bytes + arrivals
-        limit = self.queue_packets * self.mtu
-        dropped_bytes = max(backlog - limit, 0.0)
-        self.queue_bytes = min(backlog, limit)
+        backlog = queue + packets * mtu
+        limit = self.queue_packets * mtu
+        if backlog > limit:
+            self.queue_bytes = limit
+            dropped = int((backlog - limit) // mtu)
+            if dropped > packets:
+                dropped = packets
+        else:
+            self.queue_bytes = backlog
+            dropped = 0
 
-        dropped = min(int(dropped_bytes // self.mtu), packets)
         delivered = packets - dropped
-        injected = self._inject_loss(t, delivered)
-        dropped += injected
-        delivered -= injected
-        self._account(packets, delivered, dropped)
+        if plan is not None:
+            injected = self._inject_loss(t, delivered)
+            dropped += injected
+            delivered -= injected
+        self.offered_packets += packets
+        self.delivered_packets += delivered
+        self.dropped_packets += dropped
+        self._ctr_offered.inc(packets)
+        if dropped:
+            self._ctr_dropped.inc(dropped)
+        self._gauge_queue.set(self.queue_bytes)
         return RoundOutcome(
             delivered_packets=delivered,
             dropped_packets=dropped,
             rtt=rtt,
             bandwidth_bps=service,
         )
-
-    def _account(self, offered: int, delivered: int, dropped: int) -> None:
-        self.offered_packets += offered
-        self.delivered_packets += delivered
-        self.dropped_packets += dropped
-        self._ctr_offered.inc(offered)
-        if dropped:
-            self._ctr_dropped.inc(dropped)
-        self._gauge_queue.set(self.queue_bytes)
 
     def drain(self, t: float, dt: float) -> None:
         """Let the queue drain while the sender is idle for ``dt``.

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -53,6 +54,19 @@ class NetworkTrace:
             raise ValueError("trace needs a 1-D, non-empty sample array")
         if (self.samples_mbps < 0).any():
             raise ValueError("trace samples must be non-negative")
+        # Per-round lookups index one scalar at a time, where a plain
+        # Python list beats ndarray scalar extraction severalfold.
+        # ``tolist()`` round-trips float64 exactly, so values are
+        # bit-identical to the array path.
+        self._samples_list = self.samples_mbps.tolist()
+        self._num_samples = len(self._samples_list)
+        # Constant traces (the fleet default) skip the floor/mod lookup;
+        # the all-equal scan runs once per trace construction.
+        first = self._samples_list[0]
+        self._const_mbps = (
+            first if self._num_samples == 1
+            or bool((self.samples_mbps == first).all()) else None
+        )
 
     @property
     def duration(self) -> float:
@@ -60,10 +74,13 @@ class NetworkTrace:
 
     def bandwidth_mbps(self, t: float) -> float:
         """Available bandwidth at absolute time ``t`` (loops)."""
+        const = self._const_mbps
+        if const is not None:
+            return const
         # floor, not int(): truncation toward zero mis-indexes negative
         # shifted times by one sample.
-        idx = math.floor(t + self.shift_s) % len(self.samples_mbps)
-        return float(self.samples_mbps[idx])
+        idx = math.floor(t + self.shift_s) % self._num_samples
+        return self._samples_list[idx]
 
     def bandwidth_bps(self, t: float) -> float:
         return self.bandwidth_mbps(t) * 1e6
@@ -346,11 +363,24 @@ TRACES.register(
 
 _PARAMETRIZED = ("constant", "step")
 
+#: LRU memo of synthetic-trace generation.  Trace construction is a pure
+#: function of ``(name, seed, kwargs)``, and the regime-switching
+#: generators walk a Python loop over every sample — a fleet standing up
+#: hundreds of sessions on the same weather otherwise regenerates the
+#: identical series hundreds of times.  Traces are treated as immutable
+#: by every consumer (``shifted``/``offset_to_mean`` return new
+#: instances, ``FaultedTrace`` wraps), so sharing one instance is safe.
+_TRACE_CACHE: "OrderedDict[tuple, NetworkTrace]" = OrderedDict()
+_TRACE_CACHE_MAX = 128
 
-def get_trace(name: str, seed: int = 0, **kwargs) -> NetworkTrace:
-    """Build a named trace ("tmobile", "verizon", "att", "3g", "fcc",
-    "wild", "constant:<mbps>", "step")."""
-    key = name.lower()
+
+def clear_trace_cache() -> None:
+    """Drop every memoized trace (tests and memory-sensitive callers)."""
+    _TRACE_CACHE.clear()
+
+
+def _build_trace(name: str, key: str, seed: int, kwargs: dict
+                 ) -> NetworkTrace:
     if key.startswith("constant"):
         mbps = float(key.split(":", 1)[1]) if ":" in key else 10.5
         return constant_trace(mbps, **kwargs)
@@ -365,6 +395,36 @@ def get_trace(name: str, seed: int = 0, **kwargs) -> NetworkTrace:
             f", constant:<mbps>, step"
         ) from None
     return generator(seed=seed, **kwargs)
+
+
+def get_trace(
+    name: str, seed: int = 0, use_cache: bool = True, **kwargs
+) -> NetworkTrace:
+    """Build a named trace ("tmobile", "verizon", "att", "3g", "fcc",
+    "wild", "constant:<mbps>", "step").
+
+    Results are memoized by ``(name, seed, kwargs)`` in a bounded LRU;
+    pass ``use_cache=False`` to force a fresh build (the cache is also
+    bypassed when a kwarg value is unhashable).
+    """
+    key = name.lower()
+    cache_key = None
+    if use_cache:
+        try:
+            cache_key = (key, seed, tuple(sorted(kwargs.items())))
+            cached = _TRACE_CACHE.get(cache_key)
+        except TypeError:
+            cache_key = None  # unhashable kwarg: build uncached
+        else:
+            if cached is not None:
+                _TRACE_CACHE.move_to_end(cache_key)
+                return cached
+    trace = _build_trace(name, key, seed, kwargs)
+    if cache_key is not None:
+        _TRACE_CACHE[cache_key] = trace
+        if len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+            _TRACE_CACHE.popitem(last=False)
+    return trace
 
 
 TRACE_NAMES = (

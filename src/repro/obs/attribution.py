@@ -381,7 +381,10 @@ class FleetAttributor:
             attributor = self._sessions[sid] = SessionAttributor()
             if sid not in self._order:
                 self._order.append(sid)
-        attributor.feed(event)
+        # Inlined SessionAttributor.feed: one dispatch, no method hop.
+        handler = SessionAttributor._HANDLERS.get(event.type)
+        if handler is not None:
+            handler(attributor, event)
 
     def _session_results(self) -> List[Tuple[object, AttributionResult]]:
         """(session_id, partition) pairs in first-appearance order,

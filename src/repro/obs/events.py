@@ -122,12 +122,32 @@ COMMON_OPTIONAL_FIELDS = ("session_id",)
 
 EVENT_TYPES = tuple(sorted(EVENT_FIELDS))
 
+#: Precomputed per-type field sets: validation on the emit hot path is a
+#: pair of subset checks against these, with the original list-building
+#: diagnostics reconstructed only when a check fails.
+_REQUIRED_SETS: Dict[str, frozenset] = {
+    type_: frozenset(required) for type_, required in EVENT_FIELDS.items()
+}
+_ALLOWED_SETS: Dict[str, frozenset] = {
+    type_: _REQUIRED_SETS[type_]
+    | frozenset(OPTIONAL_FIELDS.get(type_, ()))
+    | frozenset(COMMON_OPTIONAL_FIELDS)
+    for type_ in EVENT_FIELDS
+}
+
+#: (required, allowed) per type in one dict — the emit hot path does a
+#: single lookup and two subset checks per event.
+CHECK_SETS: Dict[str, tuple] = {
+    type_: (_REQUIRED_SETS[type_], _ALLOWED_SETS[type_])
+    for type_ in EVENT_FIELDS
+}
+
 
 class SchemaError(ValueError):
     """An event does not conform to the trace schema."""
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One structured, timestamped observation."""
 
@@ -137,9 +157,16 @@ class TraceEvent:
     fields: Dict[str, object]
 
     def validate(self) -> None:
-        required = EVENT_FIELDS.get(self.type)
-        if required is None:
+        sets = CHECK_SETS.get(self.type)
+        if sets is None:
             raise SchemaError(f"unknown event type {self.type!r}")
+        keys = self.fields.keys()
+        if sets[0] <= keys and keys <= sets[1]:
+            return
+        self._validate_slow()
+
+    def _validate_slow(self) -> None:
+        required = EVENT_FIELDS[self.type]
         missing = [k for k in required if k not in self.fields]
         if missing:
             raise SchemaError(

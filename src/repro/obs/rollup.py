@@ -38,6 +38,12 @@ DISTRIBUTIONS = (
     "startup_delay_s",    # per-session startup delay
 )
 
+#: Event types the aggregator branches on; everything else only counts.
+#: One membership test short-circuits the dispatch chain on the hot path.
+_TRACKED_TYPES = frozenset(
+    (ev.STALL, ev.DOWNLOAD_END, ev.SESSION_START, ev.SESSION_END)
+)
+
 
 # ---------------------------------------------------------------------------
 # Streaming JSONL reader (shared by rollup, report, and ``repro trace``).
@@ -150,8 +156,13 @@ class TraceRollup:
                 return
         self.events += 1
         counts = self.event_counts
-        counts[event.type] = counts.get(event.type, 0) + 1
         type_ = event.type
+        try:
+            counts[type_] += 1
+        except KeyError:
+            counts[type_] = 1
+        if type_ not in _TRACKED_TYPES:
+            return
         if type_ == ev.STALL:
             self._hists["stall_seconds"].observe(float(fields["duration"]))
         elif type_ == ev.DOWNLOAD_END:

@@ -16,10 +16,16 @@ from collections import deque
 from typing import IO, Callable, Iterable, Iterator, List, Optional, Union
 
 from repro.network.clock import Clock
+from repro.obs.events import CHECK_SETS as _CHECK_SETS
 from repro.obs.events import TraceEvent, parse_jsonl
 from repro.obs.spans import current as _current_profiler
 
 DEFAULT_CAPACITY = 262_144
+
+#: Slot-direct event allocation for the emit hot paths: skips the
+#: dataclass ``__init__`` call (the four stores below are the entire
+#: constructor body).
+_EVENT_NEW = object.__new__
 
 
 class NullTracer:
@@ -37,6 +43,9 @@ class NullTracer:
         pass
 
     def emit_at(self, t: float, type_: str, **fields) -> None:
+        pass
+
+    def emit_fields(self, t, type_: str, fields) -> None:
         pass
 
     @property
@@ -102,8 +111,7 @@ class Tracer:
 
     def emit(self, type_: str, **fields) -> TraceEvent:
         """Record one event, stamped with the current simulation time."""
-        t = self.clock.now if self.clock is not None else 0.0
-        return self.emit_at(t, type_, **fields)
+        return self.emit_fields(None, type_, fields)
 
     def emit_at(self, t: float, type_: str, **fields) -> TraceEvent:
         """Record one event with an explicit simulation timestamp.
@@ -111,16 +119,39 @@ class Tracer:
         Event-driven components (the packet backend) report the event
         loop's time, which runs ahead of the session clock mid-download.
         """
+        return self.emit_fields(t, type_, fields)
+
+    def emit_fields(self, t, type_: str, fields) -> TraceEvent:
+        """Record one event taking ownership of an already-built dict.
+
+        The single internal emission path: ``emit``/``emit_at`` and the
+        per-session wrapper all funnel here, so one payload dict is built
+        per event regardless of how many wrappers the call went through.
+        ``t=None`` stamps the current simulation time.
+        """
+        if t is None:
+            clock = self.clock
+            t = clock.now if clock is not None else 0.0
         prof = self._prof
         frame = prof.push("tracing.emit", "tracing") \
             if prof is not None else None
-        event = TraceEvent(seq=self._seq, t=t, type=type_, fields=fields)
+        event = _EVENT_NEW(TraceEvent)
+        event.seq = self._seq
+        event.t = t
+        event.type = type_
+        event.fields = fields
         if self.validate:
-            event.validate()
+            # Inlined schema check (one lookup, two subset tests); the
+            # method call reconstructs full diagnostics on any failure.
+            sets = _CHECK_SETS.get(type_)
+            keys = fields.keys()
+            if sets is None or not (sets[0] <= keys <= sets[1]):
+                event.validate()
         self._seq += 1
-        if len(self._buffer) == self.capacity:
+        buffer = self._buffer
+        if len(buffer) == self.capacity:
             self.dropped += 1
-        self._buffer.append(event)
+        buffer.append(event)
         for observer in self._observers:
             observer(event)
         if frame is not None:
@@ -200,16 +231,28 @@ class StreamingTracer:
         self.clock = clock
 
     def emit(self, type_: str, **fields) -> TraceEvent:
-        t = self.clock.now if self.clock is not None else 0.0
-        return self.emit_at(t, type_, **fields)
+        return self.emit_fields(None, type_, fields)
 
     def emit_at(self, t: float, type_: str, **fields) -> TraceEvent:
+        return self.emit_fields(t, type_, fields)
+
+    def emit_fields(self, t, type_: str, fields) -> TraceEvent:
+        if t is None:
+            clock = self.clock
+            t = clock.now if clock is not None else 0.0
         prof = self._prof
         frame = prof.push("tracing.emit", "tracing") \
             if prof is not None else None
-        event = TraceEvent(seq=self._seq, t=t, type=type_, fields=fields)
+        event = _EVENT_NEW(TraceEvent)
+        event.seq = self._seq
+        event.t = t
+        event.type = type_
+        event.fields = fields
         if self.validate:
-            event.validate()
+            sets = _CHECK_SETS.get(type_)
+            keys = fields.keys()
+            if sets is None or not (sets[0] <= keys <= sets[1]):
+                event.validate()
         self._seq += 1
         for observer in self._observers:
             observer(event)
@@ -240,6 +283,8 @@ class SessionTracer:
     def __init__(self, tracer, session_id: str):
         self._tracer = tracer
         self.session_id = session_id
+        # Bound forward target: one attribute hop less per emission.
+        self._forward = tracer.emit_fields
 
     @property
     def enabled(self) -> bool:
@@ -253,11 +298,15 @@ class SessionTracer:
 
     def emit(self, type_: str, **fields):
         fields.setdefault("session_id", self.session_id)
-        return self._tracer.emit(type_, **fields)
+        return self._forward(None, type_, fields)
 
     def emit_at(self, t: float, type_: str, **fields):
         fields.setdefault("session_id", self.session_id)
-        return self._tracer.emit_at(t, type_, **fields)
+        return self._forward(t, type_, fields)
+
+    def emit_fields(self, t, type_: str, fields):
+        fields.setdefault("session_id", self.session_id)
+        return self._forward(t, type_, fields)
 
     @property
     def events(self) -> List[TraceEvent]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class PlaybackBuffer:
     """Seconds-denominated playback buffer.
 

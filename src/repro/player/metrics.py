@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class SegmentRecord:
     """Everything measured about one streamed segment."""
 

@@ -93,7 +93,7 @@ class SessionConfig:
         return self.buffer_segments * segment_duration
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRepair:
     record: SegmentRecord
     delivery: SegmentDelivery
@@ -176,6 +176,10 @@ class StreamingSession:
         )
         self.abr.setup(self.manifest, self.buffer.capacity_s)
         self._throughput_samples: List[float] = []
+        # Cache of the harmonic-mean throughput estimate: samples only
+        # change when a download completes, but the estimate is read on
+        # every progress round and every repair-budget calculation.
+        self._tp_cache: Optional[float] = None
         self._pending_repairs: List[_PendingRepair] = []
         self._resilience = (
             self.config.fault_plan is not None
@@ -229,13 +233,15 @@ class StreamingSession:
     # ------------------------------------------------------------------
     @property
     def throughput_estimate(self) -> float:
-        return safe_throughput(self._throughput_samples, default=0.0)
+        estimate = self._tp_cache
+        if estimate is None:
+            estimate = safe_throughput(self._throughput_samples, default=0.0)
+            self._tp_cache = estimate
+        return estimate
 
     def _context(self, index: int, last_quality: Optional[int]
                  ) -> DecisionContext:
-        entries = [
-            self.manifest.entry(q, index) for q in range(self.manifest.num_levels)
-        ]
+        entries = self.manifest.entry_row(index)
         # The capacity handed to the ABR is the decision-time maximum: a
         # new download starts once the buffer is at or below capacity, so
         # the level seen by `choose` never exceeds it (the in-flight
@@ -696,9 +702,25 @@ class StreamingSession:
             req_frame = prof.push("request", "player") \
                 if prof is not None else None
             try:
-                delivery = yield from self._fetch(
-                    entry, decision, progress, retry
-                )
+                # _fetch's dispatch, inlined: the common VOXEL path runs
+                # without the extra delegation frame a helper generator
+                # would add to every round's resume chain.
+                if (decision.skip_frames is not None
+                        and self.connection.partially_reliable):
+                    delivery = yield from self._fetch_skip_frames(
+                        entry, decision, progress, retry
+                    )
+                else:
+                    delivery = yield from self.http.fetch_segment_iter(
+                        entry,
+                        target_bytes=decision.target_bytes,
+                        progress=progress,
+                        force_reliable=(
+                            self.config.force_reliable_payload
+                            or not decision.unreliable
+                        ),
+                        retry=retry,
+                    )
             except RetryBudgetExhausted as exc:
                 if req_frame is not None:
                     prof.pop(req_frame)
@@ -795,6 +817,7 @@ class StreamingSession:
             sample = delivery.bytes_delivered * 8.0 / transfer_time
             if delivery.bytes_delivered > 50_000:
                 self._throughput_samples.append(sample)
+                self._tp_cache = None
 
         self.buffer.push_segment(self.segment_duration)
 
@@ -844,7 +867,7 @@ class StreamingSession:
         else:
             score = self._score_delivery(decision.quality, index, delivery)
         segment = self.prepared.video.segment(decision.quality, index)
-        referenced = set(segment.frames.referenced_indices())
+        referenced = segment.frames.referenced_set()
         dropped_ref = sum(
             1 for f in delivery.dropped_frames if f in referenced
         )
@@ -914,10 +937,19 @@ class StreamingSession:
     ):
         """Build the transport progress callback bridging to ABR control."""
         session = self
+        clock = self.clock
+        abr_control = self.abr.control
+        min_elapsed = self.abr.control_min_elapsed_s
 
         def progress(request_elapsed: float, request_sent: int) -> Optional[int]:
-            elapsed_total = session.clock.now - t_start
-            buffer_now = max(buffer_at_start - elapsed_total, 0.0)
+            elapsed_total = clock.now - t_start
+            if elapsed_total < min_elapsed:
+                # The algorithm's own warm-up gate would CONTINUE; skip
+                # the snapshot without consulting it.
+                return None
+            buffer_now = buffer_at_start - elapsed_total
+            if buffer_now < 0.0:
+                buffer_now = 0.0
             # Blend the historical estimate with the rate this very
             # request is achieving: mid-download decisions must react to
             # the network as it is *now*, not as it was last segment.
@@ -931,15 +963,10 @@ class StreamingSession:
                     else 0.7 * instantaneous + 0.3 * throughput
                 )
             state = DownloadProgress(
-                segment_index=index,
-                quality=quality,
-                elapsed=elapsed_total,
-                bytes_sent=request_sent,
-                bytes_total=total_wire,
-                buffer_level_s=buffer_now,
-                throughput_bps=throughput,
+                index, quality, elapsed_total, request_sent,
+                total_wire, buffer_now, throughput,
             )
-            action = session.abr.control(state)
+            action = abr_control(state)
             if action.verb is ControlVerb.CONTINUE:
                 return None
             if action.verb is ControlVerb.RESTART:

@@ -206,6 +206,14 @@ class VoxelManifest:
     segment_duration: float
     representations: List[Representation]
 
+    def __post_init__(self) -> None:
+        # Derived-view memos.  The manifest is immutable after
+        # construction (nothing in the codebase appends or rewrites
+        # entries), so per-index rows and the basic view are computed
+        # once and shared by every session streaming this video.
+        self._entry_rows: Dict[int, List[SegmentEntry]] = {}
+        self._basic: Optional["VoxelManifest"] = None
+
     @property
     def num_segments(self) -> int:
         return len(self.representations[0].segments)
@@ -221,6 +229,19 @@ class VoxelManifest:
     def entry(self, quality: int, index: int) -> SegmentEntry:
         return self.representations[quality].segments[index]
 
+    def entry_row(self, index: int) -> List[SegmentEntry]:
+        """Per-quality entries of one segment index, computed once.
+
+        The returned list has stable identity per index, so decision
+        caches keyed on the row object hold across every session (and
+        every client of a fleet) sharing this manifest.
+        """
+        row = self._entry_rows.get(index)
+        if row is None:
+            row = [rep.segments[index] for rep in self.representations]
+            self._entry_rows[index] = row
+        return row
+
     def bitrates_bps(self) -> List[float]:
         return [rep.avg_bitrate_bps for rep in self.representations]
 
@@ -233,21 +254,25 @@ class VoxelManifest:
         return len(self.serialize().encode("utf-8"))
 
     def basic_view(self) -> "VoxelManifest":
-        """Manifest as consumed by a VOXEL-unaware client."""
-        reps = [
-            Representation(
-                quality=rep.quality,
-                avg_bitrate_bps=rep.avg_bitrate_bps,
-                resolution=rep.resolution,
-                segments=[entry.basic_view() for entry in rep.segments],
+        """Manifest as consumed by a VOXEL-unaware client (memoized)."""
+        view = self._basic
+        if view is None:
+            reps = [
+                Representation(
+                    quality=rep.quality,
+                    avg_bitrate_bps=rep.avg_bitrate_bps,
+                    resolution=rep.resolution,
+                    segments=[entry.basic_view() for entry in rep.segments],
+                )
+                for rep in self.representations
+            ]
+            view = VoxelManifest(
+                video=self.video,
+                segment_duration=self.segment_duration,
+                representations=reps,
             )
-            for rep in self.representations
-        ]
-        return VoxelManifest(
-            video=self.video,
-            segment_duration=self.segment_duration,
-            representations=reps,
-        )
+            self._basic = view
+        return view
 
     def serialize(self) -> str:
         buf = io.StringIO()

@@ -300,14 +300,134 @@ def _decode_errors(
     return error
 
 
-def _default_rate_ratio(segment: EncodedSegment) -> float:
-    """R_top / R_q from the Tab. 2 ladder for the segment's level."""
-    from repro.video.ladder import default_ladder
+def decode_segment_scalar(
+    segment: EncodedSegment,
+    params: QoEParams = DEFAULT_PARAMS,
+    dropped: Optional[Iterable[int]] = None,
+    corruption: Optional[Dict[int, float]] = None,
+    rate_ratio: Optional[float] = None,
+) -> DecodeResult:
+    """Pure-Python reference decode, bit-identical to :func:`decode_segment`.
 
-    ladder = default_ladder()
-    top = ladder[-1].avg_bitrate_mbps
-    own = ladder[segment.quality].avg_bitrate_mbps
-    return top / own
+    Every arithmetic step mirrors the vectorized pipeline in evaluation
+    order (same parenthesization, same sequential accumulation the numpy
+    kernels use), so the property tests can require exact equality rather
+    than tolerances.  Only the final mean reductions go through numpy —
+    they are reductions over the already-compared per-frame values.
+    """
+    frames = segment.frames
+    n = len(frames)
+    if rate_ratio is None:
+        rate_ratio = _default_rate_ratio(segment)
+    d_enc = params.encoding_distortion(segment.content.activity, rate_ratio)
+
+    dropped_set = set()
+    if dropped is not None:
+        for idx in dropped:
+            if idx == 0:
+                raise ValueError("the I-frame (frame 0) can never be dropped")
+            dropped_set.add(idx)
+
+    corrupt = [0.0] * n
+    if corruption:
+        for idx, frac in corruption.items():
+            if idx in dropped_set:
+                continue
+            corrupt[idx] = min(max(frac, 0.0), 1.0)
+
+    motion = [frame.motion for frame in frames]
+    error = [0.0] * n
+
+    # Freeze error: cumulative dropped motion since the last delivered
+    # frame (the cumsum-reset the vector path expresses with a running
+    # maximum over delivered checkpoints).
+    if dropped_set:
+        running = 0.0
+        base = float("-inf")
+        for i in range(n):
+            if i in dropped_set:
+                running = running + motion[i]
+                gap = running - base
+                error[i] = min(params.freeze_cost * gap, params.freeze_cap)
+            elif running > base:
+                base = running
+
+    if any(corrupt):
+        for i in range(n):
+            if i not in dropped_set:
+                error[i] = error[i] + corrupt[i] * (
+                    params.corrupt_cost * motion[i]
+                )
+
+    if any(error):
+        # Dependency depth per frame (longest reference chain), then one
+        # propagation pass per depth level — the same plan the vector
+        # path precomputes, including its small-group skip rule.
+        depth = [0] * n
+        for idx in reversed(frames._topological_order()):
+            refs = frames[idx].references
+            if refs:
+                depth[idx] = 1 + max(depth[ref] for ref, _ in refs)
+        decay = params.propagation_decay
+        cap = params.max_frame_distortion
+        for level in range(1, max(depth) + 1):
+            group = [i for i in range(n) if depth[i] == level]
+            if len(group) <= 4:
+                for idx in group:
+                    if idx in dropped_set:
+                        continue
+                    inherited = 0.0
+                    for ref, weight in frames[idx].references:
+                        inherited += weight * error[ref]
+                    if inherited:
+                        error[idx] = min(error[idx] + decay * inherited, cap)
+                continue
+            inherited_by: Dict[int, float] = {}
+            for idx in group:
+                total = 0.0
+                for ref, weight in frames[idx].references:
+                    total += weight * error[ref]
+                inherited_by[idx] = total
+            if not any(inherited_by.values()):
+                continue
+            for idx in group:
+                if idx in dropped_set:
+                    continue
+                error[idx] = min(
+                    error[idx] + decay * inherited_by[idx], cap
+                )
+
+    frame_scores = np.array(
+        [min(max(1.0 - d_enc - e, 0.0), 1.0) for e in error], dtype=float
+    )
+    return DecodeResult(
+        frame_scores=frame_scores,
+        score=float(frame_scores.mean()),
+        delivered_frames=n - len(dropped_set),
+        distortion=float(np.array(
+            [d_enc + e for e in error], dtype=float
+        ).mean()),
+    )
+
+
+_RATE_RATIO_CACHE: Dict[int, float] = {}
+
+
+def _default_rate_ratio(segment: EncodedSegment) -> float:
+    """R_top / R_q from the Tab. 2 ladder for the segment's level.
+
+    The default ladder is a module constant, so the ratio per quality
+    level is computed once instead of rebuilding the ladder per decode.
+    """
+    ratio = _RATE_RATIO_CACHE.get(segment.quality)
+    if ratio is None:
+        from repro.video.ladder import default_ladder
+
+        ladder = default_ladder()
+        top = ladder[-1].avg_bitrate_mbps
+        ratio = top / ladder[segment.quality].avg_bitrate_mbps
+        _RATE_RATIO_CACHE[segment.quality] = ratio
+    return ratio
 
 
 def pristine_score(

@@ -24,7 +24,7 @@ REQUEST_RTT_COST = 1.0
 PAYLOAD_FRACTION = 0.94
 
 
-@dataclass
+@dataclass(slots=True)
 class DownloadResult:
     """Outcome of one stream download.
 

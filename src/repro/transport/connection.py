@@ -164,12 +164,22 @@ class QuicConnection:
         dl_frame = prof.push("transport.download", "transport") \
             if prof is not None else None
 
+        # Hot-loop handles: all of these are stable for the lifetime of
+        # one download (reconnect() only swaps the controller between
+        # downloads), so the round loop skips the attribute traffic.
+        link = self.link
+        clock = self.clock
+        cc = self.cc
+        tracer = self.tracer
+        tracing = tracer.enabled
+        queue_limit = link.queue_packets * link.mtu
+
         # Application bytes carried per packet (headers cost the rest).
-        payload = max(int(self.link.mtu * PAYLOAD_FRACTION), 1)
-        start_time = self.clock.now
+        payload = max(int(link.mtu * PAYLOAD_FRACTION), 1)
+        start_time = clock.now
         # Request latency: one RTT for the HTTP request to reach the
         # server and the first byte to come back.
-        first_rtt = self.link.current_rtt(self.clock.now)
+        first_rtt = link.current_rtt(clock.now)
         latency = first_rtt * REQUEST_RTT_COST
 
         limit = nbytes
@@ -179,6 +189,7 @@ class QuicConnection:
         retx_queue = 0  # reliable-mode bytes awaiting retransmission
         rounds = 0
         plan = self.fault_plan
+        guarded = plan is not None or deadline_s is not None
         fault_from = start_time  # reset scan resumes where it left off
 
         def _fail(kind: str, at: Optional[float] = None) -> TransportFault:
@@ -190,7 +201,7 @@ class QuicConnection:
             self._ctr_rounds.inc(rounds)
             self._ctr_delivered.inc(delivered)
             self._ctr_lost.inc(lost_total)
-            self._last_active = self.clock.now
+            self._last_active = clock.now
             if dl_frame is not None:
                 prof.pop(dl_frame)
             return TransportFault(
@@ -199,7 +210,7 @@ class QuicConnection:
                     requested=limit,
                     delivered=delivered,
                     lost=intervals,
-                    elapsed=self.clock.now - start_time,
+                    elapsed=clock.now - start_time,
                     truncated_at=None,
                     rounds=rounds,
                     request_latency=latency,
@@ -216,8 +227,8 @@ class QuicConnection:
         yield latency
 
         while sent_new < limit or retx_queue > 0:
-            if plan is not None or deadline_s is not None:
-                now = self.clock.now
+            if guarded:
+                now = clock.now
                 reset_at = (
                     plan.reset_between(fault_from, now)
                     if plan is not None else None
@@ -230,15 +241,21 @@ class QuicConnection:
                     and now - start_time >= deadline_s
                 ):
                     raise _fail("timeout")
-            cwnd_packets = max(int(self.cc.cwnd), 1)
+            cwnd_f = cc.cwnd
+            cwnd_packets = int(cwnd_f)
+            if cwnd_packets < 1:
+                cwnd_packets = 1
             new_budget = limit - sent_new
-            retx_packets = min(
-                (retx_queue + payload - 1) // payload, cwnd_packets
-            )
-            new_packets = min(
-                (new_budget + payload - 1) // payload,
-                cwnd_packets - retx_packets,
-            )
+            if retx_queue:
+                retx_packets = (retx_queue + payload - 1) // payload
+                if retx_packets > cwnd_packets:
+                    retx_packets = cwnd_packets
+            else:
+                retx_packets = 0
+            new_packets = (new_budget + payload - 1) // payload
+            new_room = cwnd_packets - retx_packets
+            if new_packets > new_room:
+                new_packets = new_room
             burst = retx_packets + new_packets
             if burst == 0:
                 burst = 1
@@ -247,11 +264,12 @@ class QuicConnection:
 
             rnd_frame = prof.push("transport.round", "transport") \
                 if prof is not None else None
-            outcome = self.link.offer_round(self.clock.now, burst)
+            outcome = link.offer_round(clock.now, burst)
+            rtt = outcome.rtt
             rounds += 1
             if deadline_s is not None:
-                elapsed_now = self.clock.now - start_time
-                if elapsed_now + outcome.rtt > deadline_s:
+                elapsed_now = clock.now - start_time
+                if elapsed_now + rtt > deadline_s:
                     # The round outlives the deadline (e.g. a blackout
                     # stretched it to minutes): the client stops waiting
                     # at the deadline.  The wire still carried the burst
@@ -261,37 +279,48 @@ class QuicConnection:
                     remaining = max(deadline_s - elapsed_now, 0.0)
                     if remaining > 0:
                         yield remaining
-                    if self.tracer.enabled:
-                        self.tracer.emit(
+                    if tracing:
+                        tracer.emit(
                             ev.TRANSPORT_ROUND,
                             round=rounds,
                             rtt=outcome.rtt,
                             offered=burst,
                             dropped=outcome.dropped_packets,
-                            cwnd=float(self.cc.cwnd),
+                            cwnd=float(cc.cwnd),
                             inflight=burst,
                         )
                         if outcome.dropped_packets:
-                            self.tracer.emit(
+                            tracer.emit(
                                 ev.PACKET_LOSS,
                                 dropped_packets=outcome.dropped_packets,
                                 lost_bytes=0,
                                 reliable=reliable,
                             )
                     raise _fail("timeout")
-            yield outcome.rtt
+            yield rtt
 
             # Retransmissions ride at the front of the burst (they are
             # oldest data); tail drops therefore hit new data first.
             dropped = outcome.dropped_packets
-            new_dropped = min(dropped, new_packets)
-            retx_dropped = dropped - new_dropped
+            if dropped:
+                new_dropped = dropped if dropped < new_packets else new_packets
+                retx_dropped = dropped - new_dropped
+            else:
+                new_dropped = 0
+                retx_dropped = 0
 
             # New-data accounting: the round sent bytes
             # [sent_new, sent_new + sent_bytes); the last new_dropped
             # packets of that range were tail-dropped.
-            sent_bytes = min(new_packets * payload, new_budget)
-            ok_bytes = max(sent_bytes - new_dropped * payload, 0)
+            sent_bytes = new_packets * payload
+            if sent_bytes > new_budget:
+                sent_bytes = new_budget
+            if new_dropped:
+                ok_bytes = sent_bytes - new_dropped * payload
+                if ok_bytes < 0:
+                    ok_bytes = 0
+            else:
+                ok_bytes = sent_bytes
             if reliable:
                 delivered += ok_bytes
                 retx_queue += sent_bytes - ok_bytes
@@ -303,26 +332,25 @@ class QuicConnection:
                     )
             sent_new += sent_bytes
 
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    ev.TRANSPORT_ROUND,
-                    round=rounds,
-                    rtt=outcome.rtt,
-                    offered=burst,
-                    dropped=dropped,
-                    cwnd=float(self.cc.cwnd),
-                    # In the round model everything offered is in flight
-                    # for exactly one RTT; recording it makes the
-                    # congestion-compliance invariant auditable.
-                    inflight=burst,
-                )
+            if tracing:
+                # Direct fields-dict emission (no kwargs relay).  In the
+                # round model everything offered is in flight for exactly
+                # one RTT; recording it makes the congestion-compliance
+                # invariant auditable.
+                tracer.emit_fields(None, ev.TRANSPORT_ROUND, {
+                    "round": rounds,
+                    "rtt": rtt,
+                    "offered": burst,
+                    "dropped": dropped,
+                    "cwnd": float(cwnd_f),
+                    "inflight": burst,
+                })
                 if dropped:
-                    self.tracer.emit(
-                        ev.PACKET_LOSS,
-                        dropped_packets=dropped,
-                        lost_bytes=0 if reliable else sent_bytes - ok_bytes,
-                        reliable=reliable,
-                    )
+                    tracer.emit_fields(None, ev.PACKET_LOSS, {
+                        "dropped_packets": dropped,
+                        "lost_bytes": 0 if reliable else sent_bytes - ok_bytes,
+                        "reliable": reliable,
+                    })
 
             # Retransmission accounting (reliable only).
             if retx_packets:
@@ -333,29 +361,27 @@ class QuicConnection:
                 self.total_retransmitted += retx_ok
                 self._ctr_retx.inc(retx_ok)
 
-            queue_limit = self.link.queue_packets * self.link.mtu
             pressure = (
-                self.link.queue_bytes / queue_limit if queue_limit else 0.0
+                link.queue_bytes / queue_limit if queue_limit else 0.0
             )
             # Application-limited rounds (burst below the window) must
             # not grow the window: the round proves nothing about the
             # path, and unchecked doubling across request tails leads to
             # a catastrophic burst on the next full window.
-            window_limited = burst >= cwnd_packets
-            if window_limited or dropped > 0:
-                self.cc.on_round(
-                    rtt=outcome.rtt, lost=dropped > 0,
-                    queue_pressure=pressure,
-                )
+            if burst >= cwnd_packets or dropped:
+                cc.on_round(rtt, dropped > 0, pressure)
 
             if progress is not None:
-                new_limit = progress(self.clock.now - start_time, sent_new)
+                new_limit = progress(clock.now - start_time, sent_new)
                 if new_limit is not None:
-                    limit = max(min(new_limit, limit), sent_new)
+                    if new_limit < limit:
+                        limit = new_limit
+                    if limit < sent_new:
+                        limit = sent_new
             if rnd_frame is not None:
                 prof.pop(rnd_frame)
 
-        self._last_active = self.clock.now
+        self._last_active = clock.now
         lost_intervals = merge_intervals(lost_intervals)
         self.total_delivered += delivered
         self.total_lost += sum(end - start for start, end in lost_intervals)
@@ -371,7 +397,7 @@ class QuicConnection:
             requested=limit,
             delivered=delivered,
             lost=lost_intervals,
-            elapsed=self.clock.now - start_time,
+            elapsed=clock.now - start_time,
             truncated_at=truncated,
             rounds=rounds,
             request_latency=latency,

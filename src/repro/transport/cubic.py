@@ -21,7 +21,7 @@ INITIAL_WINDOW = 10  # packets, like QUIC's default
 MIN_WINDOW = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class CubicState:
     """Snapshot of the controller, useful for tests and logging."""
 
@@ -77,31 +77,38 @@ class CubicController:
             self._on_loss()
             return self.cwnd
 
-        if self.in_slow_start:
+        cwnd = self.cwnd
+        ssthresh = self.ssthresh
+        if cwnd < ssthresh:
             if queue_pressure > 0.4:
                 # HyStart: the pipe is full; settle here.
-                self.ssthresh = self.cwnd
-                self._reset_epoch(from_window=self.cwnd)
-                return self.cwnd
+                self.ssthresh = cwnd
+                self._reset_epoch(from_window=cwnd)
+                return cwnd
             # Pacing-aware ramp: double while the queue is quiet, but
             # grow gently once it starts building — an unpaced doubling
             # from just-under-threshold overshoots the pipe by 2x in one
             # round and dumps a burst of losses (fatal for unreliable
             # streams, which never retransmit).
-            factor = 2.0 if queue_pressure < 0.15 else 1.25
-            self.cwnd = min(self.cwnd * factor, self.ssthresh + self.cwnd)
+            grown = cwnd * (2.0 if queue_pressure < 0.15 else 1.25)
+            cap = ssthresh + cwnd
+            cwnd = grown if grown <= cap else cap
+            self.cwnd = cwnd
             # Leaving slow start resets the cubic epoch.
-            if not self.in_slow_start:
-                self._reset_epoch(from_window=self.cwnd)
-            return self.cwnd
+            if cwnd >= ssthresh:
+                self._reset_epoch(from_window=cwnd)
+            return cwnd
 
-        self._epoch_elapsed += rtt
-        t = self._epoch_elapsed
+        t = self._epoch_elapsed + rtt
+        self._epoch_elapsed = t
         target = CUBIC_C * (t - self._k) ** 3 + self.w_max
         # Never grow more than one packet per ACKed packet per round
         # (standard cubic "max probing" clamp).
-        self.cwnd = max(MIN_WINDOW, min(target, self.cwnd * 1.5))
-        return self.cwnd
+        cap = cwnd * 1.5
+        grown = target if target <= cap else cap
+        cwnd = MIN_WINDOW if MIN_WINDOW >= grown else grown
+        self.cwnd = cwnd
+        return cwnd
 
     def _on_loss(self) -> None:
         self.w_max = self.cwnd

@@ -33,8 +33,31 @@ from repro.transport.resilience import RetryContext, resilient_download_iter
 
 UNRELIABLE_HEADER = "x-voxel-unreliable"
 
+# Wire-stream layout per manifest entry: the payload sizes in priority
+# order and their cumulative offsets.  Entries are immutable manifest
+# rows fetched many times (initial fetch, refetch repairs, wait-loop
+# re-decides), so the layout is derived once per entry.
+_WIRE_LAYOUT_CACHE: Dict[int, Tuple[List[int], List[int]]] = {}
 
-@dataclass
+
+def _wire_layout(entry: SegmentEntry) -> Tuple[List[int], List[int]]:
+    key = id(entry)
+    cached = _WIRE_LAYOUT_CACHE.get(key)
+    if cached is None:
+        payload_sizes = [
+            end - start for start, end in entry.unreliable_ranges
+        ]
+        cumulative = [0]
+        for size in payload_sizes:
+            cumulative.append(cumulative[-1] + size)
+        if len(_WIRE_LAYOUT_CACHE) > 20000:
+            _WIRE_LAYOUT_CACHE.clear()
+        cached = (payload_sizes, cumulative)
+        _WIRE_LAYOUT_CACHE[key] = cached
+    return cached
+
+
+@dataclass(slots=True)
 class SegmentDelivery:
     """What actually arrived for one segment.
 
@@ -183,26 +206,39 @@ class VoxelHttp:
             )
             return result
 
-        reliable_result = yield from resilient_download_iter(
-            self.connection, entry.reliable_size, reliable=True,
-            retry=retry,
-        )
+        if retry is None:
+            # Fail-free path: the resilience wrapper would delegate
+            # straight through, so skip its generator frame — every
+            # transport round resumes one less stack level.
+            reliable_result = yield from self.connection.download_iter(
+                entry.reliable_size, reliable=True
+            )
+        else:
+            reliable_result = yield from resilient_download_iter(
+                self.connection, entry.reliable_size, reliable=True,
+                retry=retry,
+            )
 
-        payload_sizes = [end - start for start, end in entry.unreliable_ranges]
-        total_payload = sum(payload_sizes)
+        payload_sizes, cumulative = _wire_layout(entry)
+        total_payload = cumulative[-1]
         if target_bytes is None:
             payload_budget = total_payload
         else:
             payload_budget = max(min(target_bytes - entry.reliable_size,
                                      total_payload), 0)
 
-        unreliable_result = yield from resilient_download_iter(
-            self.connection,
-            payload_budget,
-            reliable=force_reliable,
-            progress=progress,
-            retry=retry,
-        )
+        if retry is None:
+            unreliable_result = yield from self.connection.download_iter(
+                payload_budget, reliable=force_reliable, progress=progress
+            )
+        else:
+            unreliable_result = yield from resilient_download_iter(
+                self.connection,
+                payload_budget,
+                reliable=force_reliable,
+                progress=progress,
+                retry=retry,
+            )
 
         requested = unreliable_result.requested
         skipped, corruption = self._map_wire_to_frames(
@@ -237,10 +273,15 @@ class VoxelHttp:
         retry: Optional[RetryContext] = None,
     ):
         """Kernel process form of :meth:`_fetch_plain`."""
-        result = yield from resilient_download_iter(
-            self.connection, entry.total_bytes, reliable=True,
-            progress=progress, retry=retry,
-        )
+        if retry is None:
+            result = yield from self.connection.download_iter(
+                entry.total_bytes, reliable=True, progress=progress
+            )
+        else:
+            result = yield from resilient_download_iter(
+                self.connection, entry.total_bytes, reliable=True,
+                progress=progress, retry=retry,
+            )
         # A truncated reliable fetch means the tail of the segment in
         # decode order is missing entirely (no headers either — but the
         # decoder's previous-frame concealment behaves the same way).
@@ -322,9 +363,7 @@ class VoxelHttp:
         delivery.lost_intervals = still_lost
         delivery.bytes_delivered += repaired
 
-        payload_sizes = [
-            end - start for start, end in delivery.entry.unreliable_ranges
-        ]
+        payload_sizes, _ = _wire_layout(delivery.entry)
         _, corruption = self._map_wire_to_frames(
             delivery.entry,
             payload_sizes,
@@ -344,9 +383,13 @@ class VoxelHttp:
     ) -> Tuple[List[int], Dict[int, float]]:
         """Translate wire-stream byte accounting into per-frame damage."""
         order = entry.frame_order
-        cumulative = [0]
-        for size in payload_sizes:
-            cumulative.append(cumulative[-1] + size)
+        cached_sizes, cached_cumulative = _wire_layout(entry)
+        if payload_sizes is cached_sizes:
+            cumulative = cached_cumulative
+        else:
+            cumulative = [0]
+            for size in payload_sizes:
+                cumulative.append(cumulative[-1] + size)
 
         skipped: List[int] = []
         corruption: Dict[int, float] = {}

@@ -71,7 +71,7 @@ class RetryPolicy:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class RetryContext:
     """Per-segment retry state threaded through a segment's requests.
 

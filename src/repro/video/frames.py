@@ -36,7 +36,7 @@ class FrameType(enum.Enum):
 FRAME_HEADER_BYTES = 32
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """A single coded frame within a segment.
 
@@ -142,6 +142,18 @@ class SegmentFrames:
         """Indices of frames that at least one other frame references."""
         inbound = self.inbound_references()
         return sorted(idx for idx, refs in inbound.items() if refs)
+
+    def referenced_set(self) -> frozenset:
+        """:meth:`referenced_indices` as a set, computed once per segment.
+
+        The reference graph is immutable after construction, so the hot
+        per-delivery membership checks share one cached set.
+        """
+        cached = self.__dict__.get("_referenced_set")
+        if cached is None:
+            cached = frozenset(self.referenced_indices())
+            self._referenced_set = cached
+        return cached
 
     def unreferenced_indices(self) -> List[int]:
         """Indices of frames no other frame references (droppable leaves)."""

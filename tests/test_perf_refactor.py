@@ -1,0 +1,252 @@
+"""Guard rails for the raw-speed campaign.
+
+Three families of checks keep the fast paths honest:
+
+* Trace memoization — ``get_trace`` returns the same object on a cache
+  hit, a bypassed build is value-identical to the cached one, and the
+  bypass never populates the cache.
+* ``__slots__`` lint — every hot-path record type stays slotted (a
+  teammate adding a plain dataclass field silently reintroduces a
+  per-instance ``__dict__`` and the memory/speed regression with it).
+* Vectorized QoE — the numpy decode pipeline must equal the scalar
+  reference bit for bit on randomized ladders and loss patterns, and
+  the fleet merge must stay byte-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.network.traces import clear_trace_cache, get_trace
+from repro.qoe.model import decode_segment, decode_segment_scalar
+from repro.video.content import ContentProfile
+from repro.video.encoder import encode_video
+from repro.video.ladder import QualityLevel
+
+
+# ---------------------------------------------------------------------------
+# Satellite: synthetic-trace memoization.
+# ---------------------------------------------------------------------------
+class TestTraceMemo:
+    def test_cache_hit_returns_same_object(self):
+        clear_trace_cache()
+        first = get_trace("verizon", seed=3)
+        second = get_trace("verizon", seed=3)
+        assert second is first
+
+    def test_bypass_is_value_identical_to_cached(self):
+        clear_trace_cache()
+        for name, kwargs in (
+            ("verizon", {"seed": 3}),
+            ("tmobile", {"seed": 9}),
+            ("constant:12.5", {}),
+            ("step", {}),
+            ("wild", {"seed": 5}),
+        ):
+            cached = get_trace(name, **kwargs)
+            fresh = get_trace(name, use_cache=False, **kwargs)
+            assert fresh is not cached
+            assert fresh.name == cached.name
+            assert fresh.shift_s == cached.shift_s
+            assert np.array_equal(fresh.samples_mbps, cached.samples_mbps)
+            # Same lookups, not just same samples.
+            for t in (0.0, 1.5, 17.0, 123.456):
+                assert fresh.bandwidth_mbps(t) == cached.bandwidth_mbps(t)
+
+    def test_bypass_does_not_populate_cache(self):
+        clear_trace_cache()
+        a = get_trace("verizon", seed=41, use_cache=False)
+        b = get_trace("verizon", seed=41, use_cache=False)
+        assert a is not b
+        # The first cached call builds a third instance: nothing was
+        # stored by the bypassed builds.
+        c = get_trace("verizon", seed=41)
+        assert c is not a and c is not b
+        assert get_trace("verizon", seed=41) is c
+
+    def test_distinct_params_are_distinct_entries(self):
+        clear_trace_cache()
+        assert get_trace("verizon", seed=1) is not get_trace("verizon", seed=2)
+        assert get_trace("constant:10") is not get_trace("constant:20")
+
+
+# ---------------------------------------------------------------------------
+# Satellite: __slots__ lint over the hot event/record types.
+# ---------------------------------------------------------------------------
+# One entry per hot-path class.  Keep this list in sync when a new type
+# joins a per-round or per-event path; the test fails if any of them
+# (or any base) grows a per-instance __dict__ back.
+HOT_SLOTTED_CLASSES = [
+    ("repro.obs.events", "TraceEvent"),
+    ("repro.network.link", "RoundOutcome"),
+    ("repro.network.events", "Waiter"),
+    ("repro.transport.base", "DownloadResult"),
+    ("repro.transport.http", "SegmentDelivery"),
+    ("repro.transport.resilience", "RetryContext"),
+    ("repro.transport.cubic", "CubicState"),
+    ("repro.abr.base", "ControlAction"),
+    ("repro.abr.base", "Decision"),
+    ("repro.abr.base", "DownloadProgress"),
+    ("repro.abr.base", "DecisionContext"),
+    ("repro.player.metrics", "SegmentRecord"),
+    ("repro.player.session", "_PendingRepair"),
+    ("repro.player.buffer", "PlaybackBuffer"),
+    ("repro.video.frames", "Frame"),
+]
+
+
+class TestSlotsLint:
+    @pytest.mark.parametrize("modname,clsname", HOT_SLOTTED_CLASSES)
+    def test_hot_class_is_fully_slotted(self, modname, clsname):
+        cls = getattr(importlib.import_module(modname), clsname)
+        assert "__slots__" in cls.__dict__, (
+            f"{modname}.{clsname} lost its __slots__ declaration"
+        )
+        for base in cls.__mro__[:-1]:  # everything below object
+            assert "__slots__" in base.__dict__, (
+                f"{modname}.{clsname}: base {base.__name__} is unslotted, "
+                "so instances still carry a __dict__"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Satellite: vectorized QoE == scalar reference, bit for bit.
+# ---------------------------------------------------------------------------
+_SHORT_LADDER = [
+    QualityLevel(0, (426, 240), 0.3),
+    QualityLevel(1, (854, 480), 1.0),
+    QualityLevel(2, (1920, 1080), 4.0),
+    QualityLevel(3, (3840, 2160), 9.0),
+]
+_UNEVEN_LADDER = [
+    QualityLevel(0, (256, 144), 0.12),
+    QualityLevel(1, (426, 240), 0.2),
+    QualityLevel(2, (640, 360), 0.9),
+    QualityLevel(3, (1280, 720), 2.8),
+    QualityLevel(4, (1920, 1080), 5.5),
+    QualityLevel(5, (2560, 1440), 8.1),
+]
+
+_QOE_PROFILE = ContentProfile(
+    name="qoeprop",
+    title="QoE Property Video",
+    genre="Test",
+    segments=2,
+    motion_mean=0.55,
+    motion_spread=0.25,
+    complexity=0.6,
+    scene_cut_rate=1.5,
+    size_std_mbps=2.0,
+    static_fraction=0.1,
+)
+
+
+@pytest.fixture(scope="module", params=["paper", "short", "uneven"])
+def ladder_video(request):
+    ladder = {
+        "paper": None,
+        "short": _SHORT_LADDER,
+        "uneven": _UNEVEN_LADDER,
+    }[request.param]
+    return encode_video(_QOE_PROFILE, ladder=ladder)
+
+
+@st.composite
+def _loss_pattern(draw):
+    """Random (dropped, corruption, rate_ratio) against a 96-frame segment."""
+    n = 96
+    dropped = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=n - 1),
+            max_size=24, unique=True,
+        )
+    )
+    corrupt_idx = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            max_size=16, unique=True,
+        )
+    )
+    fracs = draw(
+        st.lists(
+            st.floats(min_value=-0.2, max_value=1.3, allow_nan=False),
+            min_size=len(corrupt_idx), max_size=len(corrupt_idx),
+        )
+    )
+    rate_ratio = draw(
+        st.one_of(
+            st.none(),
+            st.floats(min_value=1.0, max_value=60.0, allow_nan=False),
+        )
+    )
+    return dropped, dict(zip(corrupt_idx, fracs)), rate_ratio
+
+
+class TestVectorizedQoEEquality:
+    @settings(
+        max_examples=30, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        data=_loss_pattern(),
+        quality_pick=st.integers(min_value=0, max_value=10 ** 6),
+        segment_pick=st.integers(min_value=0, max_value=1),
+    )
+    def test_bit_identical_on_randomized_ladders(
+        self, ladder_video, data, quality_pick, segment_pick
+    ):
+        dropped, corruption, rate_ratio = data
+        quality = quality_pick % ladder_video.num_levels
+        segment = ladder_video.segment(quality, segment_pick)
+
+        fast = decode_segment(
+            segment, dropped=dropped, corruption=corruption,
+            rate_ratio=rate_ratio,
+        )
+        slow = decode_segment_scalar(
+            segment, dropped=dropped, corruption=corruption,
+            rate_ratio=rate_ratio,
+        )
+        # Exact equality: same floats, same order of operations.
+        assert np.array_equal(fast.frame_scores, slow.frame_scores)
+        assert fast.score == slow.score
+        assert fast.delivered_frames == slow.delivered_frames
+        assert fast.distortion == slow.distortion
+
+    def test_clean_decode_bit_identical(self, ladder_video):
+        top = ladder_video.num_levels - 1
+        segment = ladder_video.segment(top, 0)
+        fast = decode_segment(segment)
+        slow = decode_segment_scalar(segment)
+        assert np.array_equal(fast.frame_scores, slow.frame_scores)
+        assert fast.score == slow.score
+
+
+# ---------------------------------------------------------------------------
+# Satellite: worker-count byte-identity over the refactored hot path.
+# ---------------------------------------------------------------------------
+class TestWorkerByteIdentity:
+    def test_fleet_workers_1_vs_4_byte_identical(self, tiny_prepared):
+        from repro.experiments.fleet import ClientGroup, FleetSpec, run_fleet
+
+        groups = tuple(
+            ClientGroup(abr=abr, video=tiny_prepared.name,
+                        partially_reliable=pr)
+            for abr, pr in (("abr_star", True), ("bola", False))
+        )
+        spec = FleetSpec(
+            clients=8, shards=4, groups=groups, trace="constant:40",
+            seed=11,
+        )
+        prepared = {tiny_prepared.name: tiny_prepared}
+        serial = run_fleet(spec, workers=1, prepared_map=prepared)
+        parallel = run_fleet(spec, workers=4, prepared_map=prepared)
+        assert json.dumps(serial.report(), sort_keys=True) == \
+            json.dumps(parallel.report(), sort_keys=True)
+        assert serial.fleet_hash() == parallel.fleet_hash()
