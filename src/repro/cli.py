@@ -17,6 +17,7 @@
     python -m repro diff BENCH_main.json BENCH_pr.json --threshold 25
     python -m repro compare bbb --trace tmobile --buffer 1
     python -m repro fleet --clients 1000 --shards 8 --workers 4
+    python -m repro fleet --workers 4 --resume ckpt/   # crash-safe resume
     python -m repro sweep --spec grid.json --workers 4 --out results.jsonl
     python -m repro sweep --abrs bola,abr_star --buffers 1,3 --dry-run
     python -m repro faults --profiles mixed --check-invariants
@@ -28,6 +29,14 @@ Every command prints human-readable text; ``--json`` switches to
 machine-readable output where applicable; ``--metrics`` appends the
 process metrics registry (and enables the profiling timers).  Unknown
 video/ABR/trace names exit with status 2 and a one-line message.
+
+Exit codes: 0 success; 1 audit/regression failure; 2 usage or input
+error; 3 degraded fan-out run (tasks quarantined after their retry
+budget — partial results were still emitted); 130 interrupted (the
+fan-out commands print a one-line ``--resume`` hint instead of a
+traceback).  Every artifact (``--out`` files, reports, traces,
+checkpoints) is written atomically: temp file + rename, never a torn
+file.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -123,18 +132,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from repro import prepare_video, stream
 
     tracer = None
-    trace_sink = None
     auditor = None
     if args.trace_out:
         from repro.obs import Tracer
 
-        # Open the sink before spending a whole session on the run.
-        try:
-            trace_sink = open(args.trace_out, "w", encoding="utf-8")
-        except OSError as exc:
-            print(f"error: cannot write trace {args.trace_out!r}: {exc}",
-                  file=sys.stderr)
-            return 2
         tracer = Tracer()
     if args.check_invariants:
         from repro.obs import TraceAuditor, Tracer
@@ -181,9 +182,18 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         tracer=tracer,
         **resilience_kwargs,
     )
-    if trace_sink is not None:
-        written = tracer.write_jsonl(trace_sink)
-        trace_sink.close()
+    if args.trace_out:
+        from repro.ioutil import atomic_output
+
+        # Atomic: a previously recorded trace at this path survives
+        # until the new one is complete.
+        try:
+            with atomic_output(args.trace_out) as trace_sink:
+                written = tracer.write_jsonl(trace_sink)
+        except OSError as exc:
+            print(f"error: cannot write trace {args.trace_out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
         print(f"wrote {written} events to {args.trace_out}",
               file=sys.stderr)
     audit_failed = False
@@ -317,11 +327,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"error: cannot read report input {args.file!r}: {exc}",
               file=sys.stderr)
         return 2
+    from repro.ioutil import atomic_write_text
+
     markdown = render_markdown(report)
     if args.out:
         try:
-            with open(args.out, "w", encoding="utf-8") as handle:
-                handle.write(markdown)
+            atomic_write_text(args.out, markdown)
         except OSError as exc:
             print(f"error: cannot write {args.out!r}: {exc}",
                   file=sys.stderr)
@@ -329,9 +340,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
     if args.json_out:
         try:
-            with open(args.json_out, "w", encoding="utf-8") as handle:
-                handle.write(report_to_json(report))
-                handle.write("\n")
+            atomic_write_text(args.json_out, report_to_json(report) + "\n")
         except OSError as exc:
             print(f"error: cannot write {args.json_out!r}: {exc}",
                   file=sys.stderr)
@@ -344,6 +353,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.check and not report["audit"]["ok"]:
         return 1
     return 0
+
+
+def _exec_policy(args: argparse.Namespace):
+    """Supervision policy from ``--task-timeout``/``--task-retries``.
+
+    Returns None when neither flag was given, keeping the default
+    policy (and the serial in-process fast path at ``--workers 1``).
+    """
+    if args.task_timeout is None and args.task_retries is None:
+        return None
+    from repro.experiments.execution import DEFAULT_POLICY, ExecutionPolicy
+
+    return ExecutionPolicy(
+        task_timeout_s=args.task_timeout,
+        max_attempts=(
+            args.task_retries if args.task_retries is not None
+            else DEFAULT_POLICY.max_attempts
+        ),
+    )
+
+
+def _degraded_cells_exit(rows: List[Dict]) -> int:
+    """Exit code for a sweep/chaos row list: 3 when any cell degraded."""
+    degraded = [row for row in rows if "degraded" in row]
+    if not degraded:
+        return 0
+    from repro.experiments.execution import EXIT_DEGRADED
+
+    names = ", ".join(row["label"] for row in degraded)
+    print(
+        f"degraded run: {len(degraded)}/{len(rows)} cell(s) missing "
+        f"({names}); remaining rows are valid",
+        file=sys.stderr,
+    )
+    return EXIT_DEGRADED
 
 
 def _maybe_print_metrics(args: argparse.Namespace) -> None:
@@ -378,9 +422,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         "BETA/QUIC": {"abr": "beta", "partially_reliable": False},
         "VOXEL": {"abr": "abr_star", "partially_reliable": True},
     }
-    summaries = compare(
-        base, variants, prepared=prepared, workers=args.workers
-    )
+    try:
+        summaries = compare(
+            base, variants, prepared=prepared, workers=args.workers
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = []
     for label, summary in summaries.items():
         rows.append({
@@ -435,20 +483,10 @@ def _cmd_multiclient(args: argparse.Namespace) -> int:
 
     tracer = None
     auditor = None
-    trace_sink = None
     if args.trace_out or args.check_invariants:
         from repro.obs import MultiSessionAuditor, Tracer
 
         tracer = Tracer()
-        if args.trace_out:
-            try:
-                trace_sink = open(args.trace_out, "w", encoding="utf-8")
-            except OSError as exc:
-                print(
-                    f"error: cannot write trace {args.trace_out!r}: {exc}",
-                    file=sys.stderr,
-                )
-                return 2
         if args.check_invariants:
             auditor = MultiSessionAuditor()
             tracer.add_observer(auditor.feed)
@@ -473,9 +511,16 @@ def _cmd_multiclient(args: argparse.Namespace) -> int:
         observers=observers,
     )
 
-    if trace_sink is not None:
-        written = tracer.write_jsonl(trace_sink)
-        trace_sink.close()
+    if args.trace_out:
+        from repro.ioutil import atomic_output
+
+        try:
+            with atomic_output(args.trace_out) as trace_sink:
+                written = tracer.write_jsonl(trace_sink)
+        except OSError as exc:
+            print(f"error: cannot write trace {args.trace_out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
         print(f"wrote {written} events to {args.trace_out}",
               file=sys.stderr)
     audit_failed = False
@@ -569,7 +614,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         prev = spans.install(profiler)
     start = perf_counter()
     try:
-        result = run_fleet(spec, workers=args.workers)
+        result = run_fleet(
+            spec, workers=args.workers,
+            policy=_exec_policy(args),
+            checkpoint_dir=args.resume,
+            strict=False,
+        )
+    except ValueError as exc:
+        # Bad worker count or a checkpoint dir from a different run.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if profiler is not None:
             profiler.finalize()
@@ -577,20 +631,22 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
             spans.install(prev)
     wall_s = perf_counter() - start
+    resumed = f", {result.resumed} shard(s) from checkpoint" \
+        if result.resumed else ""
     print(
         f"{result.clients} clients / {spec.shards} shards in "
         f"{wall_s:.1f}s ({result.clients / wall_s:.0f} clients/s, "
-        f"workers={args.workers})",
+        f"workers={args.workers}{resumed})",
         file=sys.stderr,
     )
 
     report = result.report()
     report["fleet_hash"] = result.fleet_hash()
     if args.out:
+        from repro.ioutil import atomic_write_json
+
         try:
-            with open(args.out, "w", encoding="utf-8") as handle:
-                json.dump(report, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            atomic_write_json(args.out, report)
         except OSError as exc:
             print(f"error: cannot write {args.out!r}: {exc}",
                   file=sys.stderr)
@@ -609,6 +665,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
         print(format_ledger(ledger))
     _maybe_print_metrics(args)
+    if result.degraded is not None:
+        from repro.experiments.execution import EXIT_DEGRADED
+
+        block = result.degraded
+        print(
+            f"degraded run: {block['completed']}/{block['total']} "
+            f"shards completed (partial statistics above)",
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED
     return 0
 
 
@@ -756,7 +822,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             fields["backend"] = args.backend
         spec = ScenarioSpec.from_dict(fields)
 
-    profiler, _summary, wall_s = profile_trials(spec, workers=args.workers)
+    try:
+        profiler, _summary, wall_s = profile_trials(
+            spec, workers=args.workers
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     ledger = build_ledger(
         profiler, wall_s, label=spec.label(), spec=spec.to_dict(),
         spec_hash=spec.spec_hash(), top=args.top,
@@ -771,8 +843,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             if content is None:
                 write_ledger(path, ledger)
             else:
-                with open(path, "w", encoding="utf-8") as handle:
-                    handle.write(content)
+                from repro.ioutil import atomic_write_text
+
+                atomic_write_text(path, content)
         except OSError as exc:
             print(f"error: cannot write {path!r}: {exc}", file=sys.stderr)
             return 2
@@ -871,6 +944,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 sweep, workers=args.workers, rollup=args.rollup,
                 sample_rate=args.sample, sample_seed=args.sample_seed,
                 profile=args.profile,
+                policy=_exec_policy(args),
+                checkpoint_dir=args.resume,
+                strict=False,
             )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -878,9 +954,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     jsonl = rows_to_jsonl(rows)
     if args.out:
+        from repro.ioutil import atomic_write_text
+
         try:
-            with open(args.out, "w", encoding="utf-8") as handle:
-                handle.write(jsonl)
+            atomic_write_text(args.out, jsonl)
         except OSError as exc:
             print(f"error: cannot write {args.out!r}: {exc}",
                   file=sys.stderr)
@@ -893,7 +970,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 print(f"  {row['spec_hash']}  {row['label']}")
         else:
             print(jsonl, end="")
-    return 0
+    return _degraded_cells_exit(rows) if not args.dry_run else 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -936,6 +1013,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             workers=args.workers, rollup=args.rollup,
             sample_rate=args.sample, sample_seed=args.sample_seed,
             profile=args.profile,
+            policy=_exec_policy(args),
+            checkpoint_dir=args.resume,
+            strict=False,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -943,9 +1023,10 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     jsonl = chaos_rows_to_jsonl(rows)
     if args.out:
+        from repro.ioutil import atomic_write_text
+
         try:
-            with open(args.out, "w", encoding="utf-8") as handle:
-                handle.write(jsonl)
+            atomic_write_text(args.out, jsonl)
         except OSError as exc:
             print(f"error: cannot write {args.out!r}: {exc}",
                   file=sys.stderr)
@@ -957,10 +1038,10 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(format_chaos_report(rows))
     _maybe_print_metrics(args)
     if args.check_invariants and any(
-        not row["audit"]["ok"] for row in rows
+        not row.get("audit", {"ok": True})["ok"] for row in rows
     ):
         return 1
-    return 0
+    return _degraded_cells_exit(rows)
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
@@ -991,6 +1072,31 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     )
     _maybe_print_metrics(args)
     return 0
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Supervised-pool flags shared by the fan-out commands.
+
+    ``--workers`` must be a positive integer (exit 2 otherwise) and is
+    capped at the task count — extra workers would only idle.
+    """
+    parser.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="checkpoint spool directory: completed tasks are written "
+        "here atomically as they finish, and a re-run with the same "
+        "directory skips them (the resumed output is byte-identical "
+        "to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+        help="per-task wall-clock deadline; a hung worker is killed "
+        "and the task retried (default: no deadline)",
+    )
+    parser.add_argument(
+        "--task-retries", type=int, default=None, metavar="N",
+        help="attempts per task before it is quarantined and the run "
+        "degrades (default 3; exit 3 on a degraded run)",
+    )
 
 
 def _add_rollup_flags(parser: argparse.ArgumentParser) -> None:
@@ -1280,6 +1386,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the fleet report JSON to this file")
     p_fleet.add_argument("--metrics", action="store_true",
                          help="print the metrics registry after the run")
+    _add_resilience_flags(p_fleet)
 
     p_figure = sub.add_parser(
         "figure", help="regenerate a paper table/figure"
@@ -1343,6 +1450,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'ledger' key (works at any --workers count)",
     )
     _add_rollup_flags(p_sweep)
+    _add_resilience_flags(p_sweep)
 
     p_faults = sub.add_parser(
         "faults",
@@ -1391,6 +1499,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'ledger' key (works at any --workers count)",
     )
     _add_rollup_flags(p_faults)
+    _add_resilience_flags(p_faults)
 
     p_survey = sub.add_parser("survey", help="run the simulated user study")
     p_survey.add_argument("--clips", type=int, default=8)
@@ -1435,6 +1544,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # one-line "unknown X; known: ..." message.
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt as exc:
+        # The supervised pool kills its workers and flushes the
+        # checkpoint spool before this propagates; one line instead of
+        # a traceback, with the resume hint when there is one.
+        hint = getattr(exc, "resume_hint", None)
+        print(
+            f"interrupted: {hint}" if hint else "interrupted",
+            file=sys.stderr,
+        )
+        return 130
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; suppress the noise
         # (and the flush-on-exit repeat) per the Python docs recipe.

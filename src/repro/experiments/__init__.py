@@ -1,5 +1,19 @@
 """Experiment harness: runner, per-figure reproductions, user survey."""
 
+from repro.experiments.execution import (
+    EXIT_DEGRADED,
+    CheckpointError,
+    CheckpointStore,
+    ExecutionError,
+    ExecutionInterrupted,
+    ExecutionPolicy,
+    MapOutcome,
+    TaskFailure,
+    WorkerFaultInjector,
+    execute,
+    install_worker_fault,
+    supervised_map,
+)
 from repro.experiments.fleet import (
     ClientGroup,
     FleetResult,
@@ -38,8 +52,20 @@ from repro.experiments.sweep import (
 from repro.experiments import figures
 
 __all__ = [
+    "EXIT_DEGRADED",
+    "CheckpointError",
+    "CheckpointStore",
     "ClientGroup",
     "ClientSpec",
+    "ExecutionError",
+    "ExecutionInterrupted",
+    "ExecutionPolicy",
+    "MapOutcome",
+    "TaskFailure",
+    "WorkerFaultInjector",
+    "execute",
+    "install_worker_fault",
+    "supervised_map",
     "ExperimentConfig",
     "FleetResult",
     "FleetSpec",

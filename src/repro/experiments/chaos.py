@@ -25,7 +25,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.build import StackBuilder
 from repro.core.spec import ScenarioSpec
-from repro.experiments.runner import _fork_map
+from repro.experiments.execution import (
+    CheckpointStore,
+    ExecutionError,
+    ExecutionPolicy,
+    execute,
+)
+from repro.experiments.sweep import sweep_run_key
 from repro.faults import FAULTS
 from repro.obs import spans as _spans
 from repro.obs.attribution import FleetAttributor
@@ -196,6 +202,9 @@ def run_chaos(
     sample_rate: float = 1.0,
     sample_seed: int = 0,
     profile: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint_dir: Optional[str] = None,
+    strict: bool = True,
 ) -> List[Dict]:
     """Execute a chaos sweep; one audited result row per cell.
 
@@ -217,6 +226,14 @@ def run_chaos(
         sample_seed: seed of the sampling hash.
         profile: run every cell under a span profiler; rows gain a
             ``ledger`` key (same shape as sweep ledgers).
+        policy: supervision knobs (per-cell deadline, retry budget,
+            backoff) for the resilient pool.
+        checkpoint_dir: crash-safe spool directory; completed cell rows
+            are spooled atomically and folded from disk on a re-run.
+        strict: raise :class:`~repro.experiments.execution.ExecutionError`
+            when a cell exhausts its retry budget; ``strict=False``
+            yields ``degraded`` rows (profile, seed, attempts, causes)
+            for the failed cells instead.
 
     Returns:
         One row per cell with the spec, its summary (including the
@@ -230,6 +247,17 @@ def run_chaos(
     for video in dict.fromkeys(spec.video for _, spec in cells):
         if prepared_map is None or video not in prepared_map:
             get_prepared(video)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = CheckpointStore(
+            checkpoint_dir,
+            run_key=sweep_run_key(
+                [spec for _, spec in cells], rollup=rollup,
+                sample_rate=sample_rate, sample_seed=sample_seed,
+                profile=profile, kind="chaos",
+            ),
+            tasks=len(cells),
+        )
     global _CHAOS_PREPARED_MAP, _CHAOS_ROLLUP, _CHAOS_PROFILE
     _CHAOS_PREPARED_MAP = prepared_map
     _CHAOS_ROLLUP = (
@@ -237,14 +265,39 @@ def run_chaos(
     )
     _CHAOS_PROFILE = (bool(profile), profiling_enabled())
     try:
-        if workers <= 1 or len(cells) <= 1:
-            rows = [_chaos_worker(cell) for cell in cells]
-        else:
-            rows = _fork_map(_chaos_worker, cells, workers)
+        outcome = execute(
+            _chaos_worker,
+            cells,
+            workers=workers,
+            policy=policy,
+            labels=[
+                f"cell {name}/seed{spec.seed}" for name, spec in cells
+            ],
+            checkpoint=checkpoint,
+        )
     finally:
         _CHAOS_PREPARED_MAP = None
         _CHAOS_ROLLUP = None
         _CHAOS_PROFILE = None
+    if strict and outcome.failures:
+        raise ExecutionError(outcome.failures, total=len(cells))
+    failures = {failure.index: failure for failure in outcome.failures}
+    rows = []
+    for i, ((name, spec), row) in enumerate(zip(cells, outcome.results)):
+        if i in failures:
+            rows.append({
+                "spec_hash": spec.spec_hash(),
+                "label": spec.label(),
+                "profile": name,
+                "seed": spec.seed,
+                "spec": spec.to_dict(),
+                "degraded": {
+                    "attempts": failures[i].attempts,
+                    "causes": list(failures[i].causes),
+                },
+            })
+        else:
+            rows.append(row)
     return rows
 
 
@@ -260,7 +313,17 @@ def format_chaos_report(rows: Sequence[Dict]) -> str:
     """Human-readable chaos outcome: one line per cell plus a verdict."""
     lines = []
     bad = 0
+    missing = 0
     for row in rows:
+        if "degraded" in row:
+            missing += 1
+            block = row["degraded"]
+            lines.append(
+                f"{row['profile']:<10} seed {row['seed']:<3} "
+                f"MISSING after {block['attempts']} attempt(s): "
+                f"{', '.join(block['causes'])}"
+            )
+            continue
         s = row["summary"]
         audit = row["audit"]
         status = "ok" if audit["ok"] else "AUDIT-FAIL"
@@ -277,8 +340,9 @@ def format_chaos_report(rows: Sequence[Dict]) -> str:
         for violation in audit["violations"]:
             lines.append(f"    {violation}")
     verdict = (
-        f"{len(rows)} cells, {len(rows) - bad} audits clean"
+        f"{len(rows)} cells, {len(rows) - bad - missing} audits clean"
         + (f", {bad} FAILED" if bad else "")
+        + (f", {missing} MISSING (degraded run)" if missing else "")
     )
     lines.append(verdict)
     return "\n".join(lines)

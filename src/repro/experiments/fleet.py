@@ -43,8 +43,13 @@ from bisect import bisect_right
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.experiments.execution import (
+    CheckpointStore,
+    ExecutionError,
+    ExecutionPolicy,
+    execute,
+)
 from repro.experiments.multiclient import ClientSpec, run_multiclient
-from repro.experiments.runner import fork_map
 from repro.network.traces import get_trace
 from repro.obs import spans
 from repro.obs.attribution import FleetAttributor, format_attribution
@@ -417,6 +422,11 @@ class FleetResult:
     clients: int
     jain_index: float                   # fleet-wide, from merged stats
     rows: Optional[List[Dict]] = None   # per-client rows (keep_rows)
+    #: Degraded-run block (missing shards, attempts, causes) when any
+    #: shard exhausted its retry budget; None on whole runs.
+    degraded: Optional[Dict] = None
+    #: Shards folded from a checkpoint spool instead of re-run.
+    resumed: int = 0
 
     def report(self) -> Dict:
         """The deterministic fleet report (wall-clock free).
@@ -427,6 +437,11 @@ class FleetResult:
         per-group means.  :meth:`fleet_hash` hashes this dict, so any
         nondeterminism anywhere in the stack shows up as a hash
         mismatch between worker counts.
+
+        The ``degraded`` block appears *only* when shards are missing:
+        whole runs — including interrupted-then-resumed ones — keep the
+        exact report (and hash) of the pre-supervision era, which is
+        what lets CI gate resume on byte-identity.
         """
         group_rows = {}
         for label in sorted(self.groups):
@@ -439,7 +454,7 @@ class FleetResult:
                 "mean_stall_s": stats["stall_sum"] / count,
                 "mean_throughput_mbps": stats["rate_sum"] / count,
             }
-        return {
+        report = {
             "fleet_version": FLEET_REPORT_VERSION,
             "spec": self.spec.to_dict(),
             "spec_hash": self.spec.spec_hash(),
@@ -453,6 +468,9 @@ class FleetResult:
             "attribution": self.attribution.combined().to_dict(),
             "groups": group_rows,
         }
+        if self.degraded is not None:
+            report["degraded"] = self.degraded
+        return report
 
     def fleet_hash(self) -> str:
         """16-hex content hash of the canonical report JSON."""
@@ -467,6 +485,9 @@ def run_fleet(
     workers: int = 1,
     prepared_map: Optional[Dict[str, PreparedVideo]] = None,
     keep_rows: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint_dir: Optional[str] = None,
+    strict: bool = True,
 ) -> FleetResult:
     """Run a fleet: shards fan out over workers, artifacts fold back.
 
@@ -484,6 +505,21 @@ def run_fleet(
         keep_rows: retain per-client result rows on the result.  Off
             by default: rows are O(clients), and the fleet report
             doesn't need them.
+        policy: supervision knobs (per-shard deadline, retry budget,
+            backoff) for the resilient pool; default
+            :data:`~repro.experiments.execution.DEFAULT_POLICY`.
+        checkpoint_dir: crash-safe spool directory.  Completed shard
+            artifacts are written atomically as they land, keyed by the
+            fleet's ``spec_hash``; re-running with the same directory
+            folds spooled shards from disk instead of re-running them
+            (:attr:`FleetResult.resumed` counts them), and the resumed
+            report is byte-identical to an uninterrupted run.
+        strict: raise :class:`~repro.experiments.execution.ExecutionError`
+            when any shard exhausts its retry budget (library default).
+            With ``strict=False`` the run degrades gracefully instead:
+            missing shards are dropped from the fold and documented in
+            :attr:`FleetResult.degraded`, and the partial statistics
+            remain valid for the shards that completed.
 
     An ambient span profiler (``spans.install``) means "profile every
     shard": each shard records its own tree and the parent folds them
@@ -500,21 +536,44 @@ def run_fleet(
     for name in sorted(names):
         get_prepared(name)
 
+    checkpoint = None
+    if checkpoint_dir is not None:
+        # keep_rows/profile change the artifact shape, so they are part
+        # of the spool identity: resuming a --profile run from a plain
+        # spool would silently fold span-less shards.
+        checkpoint = CheckpointStore(
+            checkpoint_dir,
+            run_key=(
+                f"fleet:{spec.spec_hash()}:rows={int(keep_rows)}:"
+                f"profile={int(profile)}"
+            ),
+            tasks=spec.shards,
+        )
+
     _FLEET_SPEC = spec
     _FLEET_PREPARED = prepared_map
     _FLEET_PROFILE = profile
     _FLEET_ROWS = keep_rows
     try:
-        shard_results = fork_map(
-            _shard_worker, list(range(spec.shards)), workers
+        outcome = execute(
+            _shard_worker,
+            list(range(spec.shards)),
+            workers=workers,
+            policy=policy,
+            labels=[f"shard {i}" for i in range(spec.shards)],
+            checkpoint=checkpoint,
         )
     finally:
         _FLEET_SPEC = None
         _FLEET_PREPARED = None
         _FLEET_PROFILE = False
         _FLEET_ROWS = False
+    if strict and outcome.failures:
+        raise ExecutionError(outcome.failures, total=spec.shards)
 
     # Fold in shard order — the other half of the determinism anchor.
+    # Quarantined shards are None slots; the fold skips them (their
+    # absence is documented in the degraded block).
     rollup: Optional[TraceRollup] = None
     attribution = FleetAttributor()
     shard_rows: List[Dict] = []
@@ -524,7 +583,10 @@ def run_fleet(
     rate_sq = 0.0
     total_clients = 0
     rows: Optional[List[Dict]] = [] if keep_rows else None
-    for result in shard_results:
+    failed = {failure.index for failure in outcome.failures}
+    for shard_index, result in enumerate(outcome.results):
+        if shard_index in failed:
+            continue
         if rollup is None:
             rollup = TraceRollup.from_dict(result["rollup"])
         else:
@@ -566,6 +628,8 @@ def run_fleet(
         clients=total_clients,
         jain_index=jain,
         rows=rows,
+        degraded=outcome.degraded(),
+        resumed=outcome.resumed,
     )
 
 
@@ -587,6 +651,18 @@ def format_fleet_report(result: FleetResult) -> str:
             f"{row['trace_seed']:6d} {row['jain']:7.4f}"
         )
     lines.append(f"fleet Jain's index: {report['jain']['fleet']:.4f}")
+    if "degraded" in report:
+        block = report["degraded"]
+        lines.append(
+            f"DEGRADED: {block['completed']}/{block['total']} shards "
+            f"completed; partial statistics below"
+        )
+        for missing in block["missing"]:
+            lines.append(
+                f"  missing {missing['label']} after "
+                f"{missing['attempts']} attempt(s): "
+                f"{', '.join(missing['causes'])}"
+            )
     lines.append("")
     for label, stats in report["groups"].items():
         lines.append(

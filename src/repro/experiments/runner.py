@@ -18,16 +18,19 @@ byte-identical to a serial run.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import copy
-import multiprocessing
 
 import numpy as np
 
 from repro.core.build import StackBuilder
+from repro.experiments.execution import (
+    ExecutionError,
+    execute,
+    validate_workers,
+)
 from repro.core.spec import ScenarioSpec, reliability_mode
 from repro.network.traces import NetworkTrace, get_trace
 from repro.obs import spans
@@ -308,25 +311,37 @@ def _trial_worker(
     return metrics, registry, jsonl, prof_state, states
 
 
-def fork_map(worker, tasks: Sequence, workers: int) -> List:
+def fork_map(
+    worker,
+    tasks: Sequence,
+    workers: int,
+    labels: Optional[Sequence[str]] = None,
+) -> List:
     """Fan ``tasks`` out over fork()ed workers, results in task order.
 
     fork() children inherit the parent's memory snapshot (prepared-video
     caches, module globals), so inputs are identical to an in-process
     run; mapping preserves order, so folding results is deterministic.
-    With ``workers <= 1`` the tasks run serially in-process through the
+    With ``workers=1`` the tasks run serially in-process through the
     same worker function — the degenerate case every caller's
-    byte-identity claim is anchored to.  Shared machinery of
+    byte-identity claim is anchored to.  ``workers`` must be a positive
+    integer; the effective pool size is capped at ``len(tasks)`` (extra
+    workers would only idle — the cap is visible in
+    :attr:`~repro.experiments.execution.MapOutcome.effective_workers`
+    for callers that go through :func:`execute` directly).
+
+    Execution is supervised (see :mod:`repro.experiments.execution`):
+    crashed, hung, or corrupted workers are retried and, if they keep
+    failing, the error names the failing task by label instead of
+    raising ``BrokenProcessPool``.  Shared machinery of
     :func:`run_trials`, the sweep/chaos engines, and the fleet
-    executor.
+    executor; engines that need checkpoints or graceful degradation
+    call :func:`~repro.experiments.execution.execute` themselves.
     """
-    if workers <= 1:
-        return [worker(task) for task in tasks]
-    ctx = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(tasks)), mp_context=ctx
-    ) as pool:
-        return list(pool.map(worker, tasks))
+    outcome = execute(worker, tasks, workers=workers, labels=labels)
+    if outcome.failures:
+        raise ExecutionError(outcome.failures, total=len(outcome.results))
+    return outcome.results
 
 
 #: Back-compat alias (pre-fleet name).
@@ -366,6 +381,7 @@ def run_trials(
             ``workers=1``.
     """
     global _PARALLEL_PREPARED, _PARALLEL_OBSERVERS
+    workers = validate_workers(workers)
     parallel_algebra: Optional[List[Tuple[object, Optional[str]]]] = None
     if observers and workers > 1:
         resolved = [_observer_algebra(observer) for observer in observers]
@@ -401,7 +417,7 @@ def run_trials(
     # reflects only these sessions; the scope merges back into the
     # parent on exit, keeping process-wide totals intact.
     with scoped_registry() as registry:
-        if workers <= 1:
+        if workers == 1:
             outcomes = [
                 (*_rep_session(config, shift, prepared, trace,
                                collect_traces, observers, profile=profile),
@@ -423,6 +439,7 @@ def run_trials(
                         for shift in shifts
                     ],
                     workers,
+                    labels=[f"repetition {i}" for i in range(reps)],
                 )
             finally:
                 _PARALLEL_PREPARED = None

@@ -26,6 +26,7 @@ CLI: ``repro sweep --spec grid.json --workers 4 --out results.jsonl``
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import time
@@ -34,7 +35,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.build import StackBuilder
 from repro.core.spec import ScenarioSpec
-from repro.experiments.runner import TrialSummary, _fork_map, run_trials
+from repro.experiments.execution import (
+    CheckpointStore,
+    ExecutionError,
+    ExecutionPolicy,
+    execute,
+)
+from repro.experiments.runner import TrialSummary, run_trials
 from repro.obs import spans as _spans
 from repro.obs.attribution import FleetAttributor
 from repro.obs.ledger import build_ledger
@@ -46,9 +53,12 @@ from repro.prep.prepare import PreparedVideo, get_prepared
 #: Keys a result row may carry.  ``summary`` is absent in --dry-run
 #: rows; ``rollup`` and ``attribution`` appear only when the sweep ran
 #: with streaming rollups enabled (``run_sweep(rollup=True)``), and
-#: ``ledger`` only under ``run_sweep(profile=True)``.
+#: ``ledger`` only under ``run_sweep(profile=True)``.  A cell that
+#: exhausted its retry budget in a non-strict run yields a ``degraded``
+#: row instead: same identity keys, a ``degraded`` block (attempts,
+#: causes) in place of ``summary``.
 ROW_KEYS = ("spec_hash", "label", "spec", "summary", "rollup",
-            "attribution", "ledger")
+            "attribution", "ledger", "degraded")
 
 #: Keys every row's ``summary`` object carries (superset allowed).
 SUMMARY_KEYS = (
@@ -215,6 +225,45 @@ def _sweep_worker(spec: ScenarioSpec) -> Dict:
     return row
 
 
+def sweep_run_key(
+    specs: Sequence[ScenarioSpec],
+    rollup: bool = False,
+    sample_rate: float = 1.0,
+    sample_seed: int = 0,
+    profile: bool = False,
+    kind: str = "sweep",
+) -> str:
+    """Checkpoint-spool identity of one cell list + row shape.
+
+    Covers every input that determines the task list or the shape of a
+    row: the ordered cell hashes plus the rollup/sampling/profile
+    knobs.  A spool written under one key cannot be resumed under
+    another — that would fold rows from a different run.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"{kind}:rollup={int(rollup)}:rate={float(sample_rate)!r}:"
+        f"seed={int(sample_seed)}:profile={int(profile)}".encode()
+    )
+    for spec in specs:
+        digest.update(b"|")
+        digest.update(spec.spec_hash().encode())
+    return f"{kind}:{digest.hexdigest()[:16]}"
+
+
+def _degraded_row(spec: ScenarioSpec, failure) -> Dict:
+    """The row of a cell that exhausted its retry budget."""
+    return {
+        "spec_hash": spec.spec_hash(),
+        "label": spec.label(),
+        "spec": spec.to_dict(),
+        "degraded": {
+            "attempts": failure.attempts,
+            "causes": list(failure.causes),
+        },
+    }
+
+
 def run_sweep(
     sweep: Union[SweepSpec, Sequence[ScenarioSpec]],
     workers: int = 1,
@@ -223,6 +272,9 @@ def run_sweep(
     sample_rate: float = 1.0,
     sample_seed: int = 0,
     profile: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint_dir: Optional[str] = None,
+    strict: bool = True,
 ) -> List[Dict]:
     """Execute every cell of a sweep; one result row per scenario.
 
@@ -246,6 +298,17 @@ def run_sweep(
             tree — ``summary`` stays byte-identical to a plain run,
             and the ledger's ``deterministic`` block is worker-count
             invariant).
+        policy: supervision knobs (per-cell deadline, retry budget,
+            backoff) for the resilient pool.
+        checkpoint_dir: crash-safe spool directory; completed cell rows
+            are written atomically as they land (keyed by
+            :func:`sweep_run_key`) and already-spooled cells are folded
+            from disk on a re-run instead of re-simulating.
+        strict: raise :class:`~repro.experiments.execution.ExecutionError`
+            when a cell exhausts its retry budget.  With
+            ``strict=False`` failed cells yield ``degraded`` rows
+            (identity keys plus attempts/causes, no ``summary``) and
+            the remaining rows stay valid.
 
     Returns:
         One row per scenario, in expansion order, each keyed by the
@@ -259,6 +322,16 @@ def run_sweep(
     for video in dict.fromkeys(spec.video for spec in specs):
         if prepared_map is None or video not in prepared_map:
             get_prepared(video)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = CheckpointStore(
+            checkpoint_dir,
+            run_key=sweep_run_key(
+                specs, rollup=rollup, sample_rate=sample_rate,
+                sample_seed=sample_seed, profile=profile,
+            ),
+            tasks=len(specs),
+        )
     global _SWEEP_PREPARED_MAP, _SWEEP_ROLLUP, _SWEEP_PROFILE
     _SWEEP_PREPARED_MAP = prepared_map
     _SWEEP_ROLLUP = (
@@ -266,15 +339,25 @@ def run_sweep(
     )
     _SWEEP_PROFILE = (bool(profile), profiling_enabled())
     try:
-        if workers <= 1 or len(specs) <= 1:
-            rows = [_sweep_worker(spec) for spec in specs]
-        else:
-            rows = _fork_map(_sweep_worker, specs, workers)
+        outcome = execute(
+            _sweep_worker,
+            specs,
+            workers=workers,
+            policy=policy,
+            labels=[f"cell {spec.label()}" for spec in specs],
+            checkpoint=checkpoint,
+        )
     finally:
         _SWEEP_PREPARED_MAP = None
         _SWEEP_ROLLUP = None
         _SWEEP_PROFILE = None
-    return rows
+    if strict and outcome.failures:
+        raise ExecutionError(outcome.failures, total=len(specs))
+    failures = {failure.index: failure for failure in outcome.failures}
+    return [
+        _degraded_row(spec, failures[i]) if i in failures else row
+        for i, (spec, row) in enumerate(zip(specs, outcome.results))
+    ]
 
 
 def dry_run_rows(
@@ -338,7 +421,7 @@ def validate_rows(rows: Sequence[Dict], require_summary: bool = True) -> int:
         if not isinstance(row, dict):
             raise ValueError(f"{where}: not a JSON object")
         required = {"spec_hash", "label", "spec"}
-        if require_summary:
+        if require_summary and "degraded" not in row:
             required.add("summary")
         missing = sorted(required - set(row))
         if missing:
@@ -346,6 +429,21 @@ def validate_rows(rows: Sequence[Dict], require_summary: bool = True) -> int:
         extra = sorted(set(row) - set(ROW_KEYS))
         if extra:
             raise ValueError(f"{where}: unknown key(s) {extra}")
+        if "degraded" in row:
+            block = row["degraded"]
+            if "summary" in row:
+                raise ValueError(
+                    f"{where}: carries both summary and degraded"
+                )
+            if (
+                not isinstance(block, dict)
+                or not isinstance(block.get("attempts"), int)
+                or not isinstance(block.get("causes"), list)
+            ):
+                raise ValueError(
+                    f"{where}: degraded block must carry attempts "
+                    f"(int) and causes (list)"
+                )
         spec = ScenarioSpec.from_dict(row["spec"])
         if spec.spec_hash() != row["spec_hash"]:
             raise ValueError(
@@ -383,6 +481,7 @@ __all__ = [
     "SUMMARY_KEYS",
     "SweepSpec",
     "run_sweep",
+    "sweep_run_key",
     "dry_run_rows",
     "rows_to_jsonl",
     "parse_rows_jsonl",

@@ -580,9 +580,9 @@ def run_suite(
 
 
 def write_payload(payload: Dict[str, object], path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from repro.ioutil import atomic_write_json
+
+    atomic_write_json(path, payload)
 
 
 def format_suite(payload: Dict[str, object]) -> str:

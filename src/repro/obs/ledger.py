@@ -117,9 +117,9 @@ def build_ledger(
 
 
 def write_ledger(path: str, ledger: Dict) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(ledger, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from repro.ioutil import atomic_write_json
+
+    atomic_write_json(path, ledger)
 
 
 def load_ledger(path: str) -> Dict:

@@ -165,9 +165,13 @@ def _rows_report(rows: List[Dict], path: str) -> Dict[str, object]:
     if not rows:
         raise SchemaError("input file holds no result rows")
     kind = "chaos" if any("profile" in row for row in rows) else "sweep"
+    # Degraded rows (cells quarantined by the supervised pool) carry no
+    # summary; folding them as zeros would corrupt every distribution,
+    # so they are excluded from the statistics and reported separately.
+    whole = [row for row in rows if "degraded" not in row]
     qoe = Histogram()
     buf = Histogram()
-    for row in rows:
+    for row in whole:
         summary = row.get("summary") or {}
         if kind == "chaos":
             qoe.observe(float(summary.get("mean_ssim", 0.0)))
@@ -184,11 +188,25 @@ def _rows_report(rows: List[Dict], path: str) -> Dict[str, object]:
             "cells": len(rows),
         },
         "cells": {
-            "count": len(rows),
+            "count": len(whole),
             "qoe_score": _distribution(qoe),
             "buf_ratio": _distribution(buf),
         },
     }
+    if len(whole) < len(rows):
+        report["degraded"] = {
+            "completed": len(whole),
+            "total": len(rows),
+            "missing": [
+                {
+                    "spec_hash": row["spec_hash"],
+                    "label": row.get("label", "-"),
+                    "attempts": row["degraded"].get("attempts"),
+                    "causes": row["degraded"].get("causes", []),
+                }
+                for row in rows if "degraded" in row
+            ],
+        }
 
     merged_rollup = _merge_row_rollups(rows)
     if merged_rollup is not None:
@@ -249,6 +267,8 @@ def _profile_comparison(rows: List[Dict]) -> Dict[str, Dict]:
     """Per-profile aggregate table (chaos inputs), profiles sorted."""
     groups: Dict[str, List[Dict]] = {}
     for row in rows:
+        if "degraded" in row:  # no summary to aggregate
+            continue
         groups.setdefault(str(row.get("profile", "-")), []).append(row)
     out: Dict[str, Dict] = {}
     for profile in sorted(groups):
@@ -318,8 +338,30 @@ def render_markdown(report: Dict[str, object]) -> str:
     profiles = report.get("profiles")
     if profiles is not None:
         lines.extend(_render_profiles(profiles))
+    degraded = report.get("degraded")
+    if degraded is not None:
+        lines.extend(_render_degraded(degraded))
     lines.extend(_render_audit(audit))
     return "\n".join(lines) + "\n"
+
+
+def _render_degraded(degraded: Dict) -> List[str]:
+    lines = ["## Degraded run", ""]
+    lines.append(
+        f"**{degraded['completed']}/{degraded['total']} cells "
+        f"completed** — the statistics above cover the completed "
+        f"cells only."
+    )
+    lines.append("")
+    lines.append("| cell | attempts | causes |")
+    lines.append("|---|---|---|")
+    for row in degraded["missing"]:
+        causes = ", ".join(row.get("causes", [])) or "-"
+        lines.append(
+            f"| `{row['label']}` | {row['attempts']} | {causes} |"
+        )
+    lines.append("")
+    return lines
 
 
 def _render_rollup(rollup: Dict) -> List[str]:
